@@ -1,0 +1,30 @@
+"""Benchmark regenerating the Section 5.3 interconnect buffer sweep.
+
+Expected shape (paper): performance is steady for generous buffering and
+drops sharply once buffers are too small, with deadlocks (detected by the
+transaction timeout and resolved by recovery) appearing only at the smallest
+size.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import buffer_sweep
+
+
+def test_no_vc_network_buffer_sweep(benchmark):
+    result = run_once(benchmark, buffer_sweep.run, ["oltp"],
+                      buffer_sizes=(4, 8, 16, 32), references=300, seed=3)
+    print("\n" + result.format())
+    rows = result.rows
+    large = rows["oltp buf=32"]
+    small = rows["oltp buf=4"]
+    # Generous buffering: full performance, no deadlocks.
+    assert large["deadlock recoveries"] == 0
+    assert large["normalized perf"] > 0.95
+    # Too-small buffering: deadlocks appear and performance drops sharply.
+    assert small["deadlock recoveries"] > 0
+    assert small["normalized perf"] < large["normalized perf"]
+    # The conventional VC network reference also runs deadlock-free.
+    assert rows["oltp vc-network"]["deadlock recoveries"] == 0

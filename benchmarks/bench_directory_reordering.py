@@ -1,0 +1,23 @@
+"""Benchmark regenerating the Section 5.3 directory-protocol reordering text
+results (reorder rates per virtual network, recoveries, link utilisation).
+
+Expected shape (paper): reorder rates well below 1 % on every virtual
+network, only a handful of recoveries, and mean link utilisation in the
+teens-to-thirties of percent at 400 MB/s.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import dir_reordering
+
+
+def test_directory_reordering_and_recovery_rates(benchmark, workloads, references):
+    result = run_once(benchmark, dir_reordering.run,
+                      workloads, bandwidths=(400e6, 3.2e9), references=references)
+    print("\n" + result.format())
+    for key, row in result.rows.items():
+        assert row["reorder % (fwd-req VN)"] < 1.0, (key, row)
+        assert row["reorder % (other VNs)"] < 1.5, (key, row)
+        assert row["recoveries"] <= 5, (key, row)

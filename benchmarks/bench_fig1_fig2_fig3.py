@@ -1,0 +1,36 @@
+"""Benchmarks regenerating the illustrative Figures 1, 2 and 3."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import (
+    fig1_reordering_demo,
+    fig2_endpoint_deadlock,
+    fig3_switch_deadlock,
+)
+
+
+def test_fig1_adaptive_routing_reorders_messages(benchmark):
+    """Figure 1: adaptive routing can violate point-to-point order."""
+    result = run_once(benchmark, fig1_reordering_demo.run, pairs=200, seed=7)
+    print("\n" + result.format())
+    assert result.reordered_pairs["static"] == 0
+    assert result.reordered_pairs["adaptive"] > 0
+
+
+def test_fig2_endpoint_deadlock(benchmark):
+    """Figure 2: cross-coupled endpoint queues deadlock without virtual networks."""
+    result = run_once(benchmark, fig2_endpoint_deadlock.run)
+    print("\n" + result.format())
+    assert result.shared_queue_deadlock.deadlocked
+    assert not result.virtual_network_deadlock.deadlocked
+
+
+def test_fig3_switch_deadlock(benchmark):
+    """Figure 3: cross-coupled switch buffers deadlock without virtual channels."""
+    result = run_once(benchmark, fig3_switch_deadlock.run)
+    print("\n" + result.format())
+    assert result.no_vc_wedged
+    assert result.no_vc_report.deadlocked
+    assert not result.vc_report.deadlocked

@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 4 — performance vs. mis-speculation rate.
+
+Expected shape (paper): up to ten recoveries per second cost essentially
+nothing; a hundred per second becomes visible.  The scaled checkpoint
+parameters used here are documented in DESIGN.md §2 and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import fig4_misspeculation_rate
+
+
+def test_fig4_performance_vs_recovery_rate(benchmark, workloads, references):
+    result = run_once(benchmark, fig4_misspeculation_rate.run,
+                      workloads, rates=(0.0, 1.0, 10.0, 100.0),
+                      references=references)
+    print("\n" + result.format())
+    print("observed recoveries:", result.recoveries)
+    for workload, points in result.normalized.items():
+        # The paper's headline: <= 10 recoveries/second is essentially free.
+        assert points[1.0] > 0.95, (workload, points)
+        assert points[10.0] > 0.90, (workload, points)
+        # 100/s costs more than 10/s (monotone shape).
+        assert points[100.0] <= points[10.0] + 0.02, (workload, points)

@@ -1,0 +1,28 @@
+"""Benchmark regenerating Figure 5 — static vs. adaptive routing at 400 MB/s.
+
+Expected shape (paper): adaptive routing achieves a significant speedup over
+static routing on every workload, while reordering-induced recoveries remain
+rare (a handful at most across all runs).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import fig5_adaptive_routing
+
+
+def test_fig5_static_vs_adaptive_routing(benchmark, workloads, references):
+    result = run_once(benchmark, fig5_adaptive_routing.run,
+                      workloads, references=references)
+    print("\n" + result.format())
+    print("adaptive recoveries:", result.adaptive_recoveries)
+    print("adaptive reorder rates:", result.adaptive_reorder_rate)
+    print("static mean link utilisation:", result.static_link_utilization)
+    for workload, points in result.normalized.items():
+        # Adaptive routing must not lose to static, and typically wins.
+        assert points["adaptive"] >= 0.97, (workload, points)
+        # Recoveries stay rare (the paper saw only a handful overall).
+        assert result.adaptive_recoveries[workload] <= 5
+        # Reordering stays well under 1% of messages.
+        assert result.adaptive_reorder_rate[workload] < 0.01

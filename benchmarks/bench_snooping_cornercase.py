@@ -1,0 +1,21 @@
+"""Benchmark regenerating the Section 5.3 snooping-protocol results.
+
+Expected shape (paper): every workload runs to completion on the
+speculatively simplified snooping protocol without a single corner-case
+recovery, so its performance mirrors the fully designed protocol.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import snooping_cornercase
+
+
+def test_snooping_corner_case_never_triggers(benchmark, workloads, references):
+    result = run_once(benchmark, snooping_cornercase.run,
+                      workloads, references=references)
+    print("\n" + result.format())
+    for workload, row in result.rows.items():
+        assert row["corner-case recoveries"] == 0, (workload, row)
+        assert row["normalized perf vs full"] > 0.99, (workload, row)

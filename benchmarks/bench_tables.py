@@ -1,0 +1,29 @@
+"""Benchmarks regenerating Tables 1, 2 and 3 of the paper."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import table1_framework, table2_parameters, table3_workloads
+
+
+def test_table1_framework_characterisation(benchmark):
+    """Table 1: the three speculative designs characterised by the framework."""
+    result = run_once(benchmark, table1_framework.run)
+    print("\n" + result.format())
+    assert len(result.rows) == 5
+    assert all(result.wiring_ok.values())
+
+
+def test_table2_target_system_parameters(benchmark):
+    """Table 2: target system parameters (paper scale and benchmark scale)."""
+    result = run_once(benchmark, table2_parameters.run)
+    print("\n" + result.format())
+    assert result.paper_rows["L2 Cache"].startswith("4 MB")
+
+
+def test_table3_workload_characteristics(benchmark):
+    """Table 3: the synthetic analogues of the commercial workload suite."""
+    result = run_once(benchmark, table3_workloads.run, references=2_000)
+    print("\n" + result.format())
+    assert set(result.rows) == {"jbb", "apache", "slashcode", "oltp", "barnes"}

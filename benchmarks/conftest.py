@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures by calling
+the corresponding experiment driver (``repro.experiments.*``) exactly once
+(``benchmark.pedantic(rounds=1, iterations=1)``) — the interesting output is
+the *result table/series*, which each benchmark prints, not the wall-clock
+time pytest-benchmark records for producing it.
+
+Environment knobs:
+
+* ``REPRO_BENCH_WORKLOADS`` — comma-separated workload subset
+  (default ``jbb,oltp`` to keep the default suite fast; set to
+  ``jbb,apache,slashcode,oltp,barnes`` for the full Figure 4/5 sweeps).
+* ``REPRO_BENCH_REFERENCES`` — per-processor reference count (default 400).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List
+
+import pytest
+
+
+def bench_workloads() -> List[str]:
+    raw = os.environ.get("REPRO_BENCH_WORKLOADS", "jbb,oltp")
+    return [w.strip() for w in raw.split(",") if w.strip()]
+
+
+def bench_references() -> int:
+    return int(os.environ.get("REPRO_BENCH_REFERENCES", "400"))
+
+
+def run_once(benchmark, fn: Callable, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def workloads() -> List[str]:
+    return bench_workloads()
+
+
+@pytest.fixture
+def references() -> int:
+    return bench_references()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Scenario: should the interconnect use adaptive routing?
+
+The question the paper's Section 3.1 answers is whether a designer can have
+both a simple, ordering-dependent directory protocol *and* an adaptively
+routed network.  This example runs the comparison for a workload of your
+choice at a link bandwidth of your choice and prints the Figure 5 style
+result: normalized performance of adaptive vs. static routing, plus the rate
+of reorderings and recoveries that the speculation absorbs.
+
+Run with:  python examples/adaptive_vs_static_routing.py [workload] [MB/s]
+e.g.       python examples/adaptive_vs_static_routing.py oltp 400
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.metrics import normalized_performance, reorder_percentages
+from repro.experiments.common import benchmark_config, run_config
+from repro.sim.config import ProtocolVariant, RoutingPolicy
+from repro.workloads import workload_names
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "oltp"
+    bandwidth_mb = float(sys.argv[2]) if len(sys.argv) > 2 else 400.0
+    if workload not in workload_names():
+        raise SystemExit(f"unknown workload {workload!r}; choose from {workload_names()}")
+
+    print(f"Workload {workload}, {bandwidth_mb:.0f} MB/s links, "
+          "speculatively simplified directory protocol\n")
+
+    static = run_config(benchmark_config(
+        workload, references=400, variant=ProtocolVariant.SPECULATIVE,
+        routing=RoutingPolicy.STATIC, link_bandwidth=bandwidth_mb * 1e6),
+        label="static")
+    adaptive = run_config(benchmark_config(
+        workload, references=400, variant=ProtocolVariant.SPECULATIVE,
+        routing=RoutingPolicy.ADAPTIVE, link_bandwidth=bandwidth_mb * 1e6),
+        label="adaptive")
+
+    speedup = normalized_performance(adaptive, static)
+    print(f"{'':>12s}  {'runtime (cycles)':>18s}  {'normalized':>10s}  "
+          f"{'recoveries':>10s}  {'link util':>9s}")
+    for result, norm in ((static, 1.0), (adaptive, speedup)):
+        print(f"{result.config_label:>12s}  {result.runtime_cycles:>18d}  "
+              f"{norm:>10.3f}  {result.recoveries:>10d}  "
+              f"{result.mean_link_utilization:>8.1%}")
+
+    print()
+    print("Reordering under adaptive routing (percent of delivered messages):")
+    for vnet, pct in reorder_percentages(adaptive).items():
+        print(f"  {vnet:>20s}: {pct:.3f}%")
+    print()
+    if speedup >= 1.0:
+        print(f"Adaptive routing wins by {100 * (speedup - 1):.1f}% on this workload "
+              f"while causing {adaptive.recoveries} recovery(ies) — the reordering "
+              "races it introduces are absorbed by speculation + SafetyNet.")
+    else:
+        print("Adaptive routing does not pay off at this bandwidth/workload point; "
+              "the speculative protocol still runs correctly on it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Scenario: ship an interconnect without virtual channels?
+
+Section 4 of the paper removes virtual-channel/virtual-network deadlock
+avoidance, sizes buffers for the common case, and recovers (via a coherence
+transaction timeout + SafetyNet + slow-start) on the rare occasions the
+network actually deadlocks.  This example sweeps the shared buffer size of
+the no-VC network for an OLTP-like workload and prints, for each size,
+whether the system deadlocked, how often, and what performance it achieved
+relative to worst-case buffering — the Section 5.3 interconnect experiment
+in miniature.
+
+Run with:  python examples/deadlock_recovery_network.py [buffer sizes...]
+e.g.       python examples/deadlock_recovery_network.py 4 8 16 32
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.events import SpeculationKind
+from repro.experiments.common import benchmark_config, run_config
+from repro.sim.config import ProtocolVariant, RoutingPolicy
+
+
+def main() -> None:
+    sizes = [int(arg) for arg in sys.argv[1:]] or [4, 8, 16, 32]
+    workload = "oltp"
+    print(f"No-virtual-channel torus, workload {workload}, buffer sweep {sizes}\n")
+
+    baseline = run_config(benchmark_config(
+        workload, references=300, seed=3,
+        variant=ProtocolVariant.SPECULATIVE, routing=RoutingPolicy.STATIC,
+        speculative_no_vc=True, switch_buffer_capacity=4096),
+        label="worst-case-buffering")
+    print(f"worst-case buffering baseline: {baseline.runtime_cycles} cycles\n")
+
+    print(f"{'buffer':>8s}  {'normalized':>10s}  {'deadlocks':>9s}  {'finished':>8s}")
+    for size in sizes:
+        result = run_config(benchmark_config(
+            workload, references=300, seed=3,
+            variant=ProtocolVariant.SPECULATIVE, routing=RoutingPolicy.STATIC,
+            speculative_no_vc=True, switch_buffer_capacity=size),
+            label=f"no-vc-buf{size}",
+            max_cycles=12 * baseline.runtime_cycles)
+        deadlocks = result.recoveries_of(SpeculationKind.INTERCONNECT_DEADLOCK)
+        normalized = baseline.runtime_cycles / result.runtime_cycles
+        print(f"{size:>8d}  {normalized:>10.3f}  {deadlocks:>9d}  {str(result.finished):>8s}")
+
+    print("\nReading the table: with enough buffering the no-VC network matches "
+          "worst-case buffering and never deadlocks; when buffers get too small "
+          "deadlocks appear, the timeout detects them, SafetyNet recovers, and "
+          "slow-start guarantees forward progress — performance degrades instead "
+          "of the system hanging.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so that legacy editable installs work without the wheel package.
+
+``pip install -e . --no-build-isolation`` in this offline environment falls
+back to ``setup.py develop``, which this file enables; all real metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""Analysis helpers: metrics and report formatting for the experiments."""
+
+from repro.analysis.metrics import (
+    normalized_performance,
+    speedup,
+    mean_and_std,
+    reorder_percentages,
+)
+from repro.analysis.report import format_table, format_figure_series
+
+__all__ = [
+    "normalized_performance",
+    "speedup",
+    "mean_and_std",
+    "reorder_percentages",
+    "format_table",
+    "format_figure_series",
+]

@@ -1,0 +1,36 @@
+"""Cache-coherence substrate.
+
+Two complete protocols, each in a *full* variant (every race handled by
+extra states/transitions) and a *speculative* variant (the rare race left
+unhandled and detected as a mis-speculation):
+
+* a MOSI directory protocol over the torus interconnect
+  (:mod:`repro.coherence.directory`), and
+* a MOESI broadcast snooping protocol over a totally ordered address network
+  (:mod:`repro.coherence.snooping`).
+
+Shared building blocks (addresses, memory operations, transactions, cache
+arrays) live in :mod:`repro.coherence.common` and
+:mod:`repro.coherence.cache`.
+"""
+
+from repro.coherence.common import (
+    BlockAddress,
+    MemoryOp,
+    MemoryRequest,
+    Transaction,
+    block_address,
+    home_node,
+)
+from repro.coherence.cache import CacheArray, CacheLine
+
+__all__ = [
+    "BlockAddress",
+    "MemoryOp",
+    "MemoryRequest",
+    "Transaction",
+    "block_address",
+    "home_node",
+    "CacheArray",
+    "CacheLine",
+]

@@ -1,0 +1,90 @@
+"""Common coherence-protocol types: addresses, requests, transactions."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Optional
+
+#: Block addresses are plain integers (byte address of the block's base).
+BlockAddress = int
+
+
+class MemoryOp(str, Enum):
+    """Processor-visible memory operations."""
+
+    LOAD = "load"
+    STORE = "store"
+
+
+@dataclass
+class MemoryRequest:
+    """One memory reference issued by a processor."""
+
+    node: int
+    op: MemoryOp
+    address: BlockAddress
+    issued_at: int = -1
+    completed_at: int = -1
+    #: Value observed by a load / written by a store (data tracking for
+    #: correctness checks; the timing model does not depend on it).
+    value: Optional[int] = None
+
+    @property
+    def latency(self) -> int:
+        if self.completed_at < 0 or self.issued_at < 0:
+            raise ValueError("request not complete")
+        return self.completed_at - self.issued_at
+
+
+_TRANSACTION_IDS = itertools.count()
+
+
+@dataclass
+class Transaction:
+    """One outstanding coherence transaction at a cache controller."""
+
+    node: int
+    address: BlockAddress
+    op: MemoryOp
+    started_at: int
+    txn_id: int = field(default_factory=lambda: next(_TRANSACTION_IDS))
+    #: Invalidation acknowledgements still outstanding (directory protocol).
+    acks_needed: int = 0
+    acks_received: int = 0
+    data_received: bool = False
+    #: Called exactly once when the transaction completes.
+    on_complete: Optional[Callable[["Transaction"], None]] = None
+    #: Timeout event handle (cancelled on completion).
+    timeout_event: Any = None
+    completed: bool = False
+
+    @property
+    def satisfied(self) -> bool:
+        """True when data and all expected acks have arrived."""
+        return self.data_received and self.acks_received >= self.acks_needed
+
+    def complete(self) -> None:
+        if self.completed:
+            return
+        self.completed = True
+        if self.timeout_event is not None:
+            self.timeout_event.cancel()
+            self.timeout_event = None
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+
+def block_address(byte_address: int, block_bytes: int) -> BlockAddress:
+    """Align a byte address down to its block base."""
+    if block_bytes <= 0 or block_bytes & (block_bytes - 1):
+        raise ValueError("block size must be a positive power of two")
+    return byte_address & ~(block_bytes - 1)
+
+
+def home_node(address: BlockAddress, num_nodes: int, block_bytes: int) -> int:
+    """Home (directory) node for a block: blocks interleaved across nodes."""
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    return (address // block_bytes) % num_nodes

@@ -1,0 +1,36 @@
+"""MOSI directory cache-coherence protocol over the torus interconnect.
+
+The protocol follows Section 3.1 of the paper: four message classes
+(Request, ForwardedRequest, Response, FinalAck), each on its own virtual
+network; three request types (RequestReadOnly, RequestReadWrite, Writeback);
+four forwarded-request types (ForwardedRequestReadOnly,
+ForwardedRequestReadWrite, Invalidation, WritebackAck); and Data/Ack/Nack
+responses.
+
+Two variants are provided:
+
+* ``ProtocolVariant.FULL`` — the writeback / forwarded-request race is
+  handled with extra directory behaviour (the directory supplies data to the
+  racing requestor itself), which is the "more states and transitions" cost
+  the paper wants to avoid paying.
+* ``ProtocolVariant.SPECULATIVE`` — the protocol relies on point-to-point
+  ordering per virtual network; a cache controller that receives a forwarded
+  request for a block it no longer has data for has, by construction,
+  observed a reordering and reports a mis-speculation
+  (:class:`repro.core.events.MisspeculationEvent`).
+"""
+
+from repro.coherence.directory.states import CacheState, DirectoryState
+from repro.coherence.directory.messages import CoherencePayload
+from repro.coherence.directory.cache_controller import DirectoryCacheController, WritebackRecord
+from repro.coherence.directory.directory_controller import DirectoryController, DirectoryEntry
+
+__all__ = [
+    "CacheState",
+    "DirectoryState",
+    "CoherencePayload",
+    "DirectoryCacheController",
+    "WritebackRecord",
+    "DirectoryController",
+    "DirectoryEntry",
+]

@@ -1,0 +1,38 @@
+"""Coherence payloads carried inside network messages.
+
+The interconnect treats payloads as opaque; this dataclass is the contract
+between the directory controller and the cache controllers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class CoherencePayload:
+    """Protocol-level payload of a directory-protocol message.
+
+    Attributes
+    ----------
+    requestor:
+        Node id on whose behalf a forwarded request / invalidation is sent,
+        and to whom the Data/Ack responses must be directed.
+    acks_expected:
+        Number of invalidation acknowledgements the requestor must collect
+        before its store can complete.  Carried on Data and forwarded-request
+        messages (the owner copies it into the Data it sends).
+    value:
+        Data value of the block (an integer token used for correctness
+        checking).  ``None`` on Data messages means "you already hold the
+        freshest copy" (upgrade responses).
+    txn_id:
+        Transaction id of the requestor's outstanding transaction, echoed in
+        responses for bookkeeping/debugging.
+    """
+
+    requestor: int
+    acks_expected: int = 0
+    value: Optional[int] = None
+    txn_id: Optional[int] = None

@@ -1,0 +1,43 @@
+"""Stable states of the MOSI directory protocol.
+
+Transient states are not enumerated here because they are represented
+structurally: an outstanding :class:`repro.coherence.common.Transaction`
+plays the role of the IS_D / IM_AD transient states, and an outstanding
+:class:`repro.coherence.directory.cache_controller.WritebackRecord` plays the
+role of MI_A / OI_A / II_A.  This mirrors how the paper talks about the
+protocol — "a handful of stable states (MOESI)" in the textbook view, with
+the transient complexity living in the controllers.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class CacheState(str, Enum):
+    """Per-block stable states at an L2 cache controller (MOSI)."""
+
+    MODIFIED = "M"
+    OWNED = "O"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def has_valid_data(self) -> bool:
+        return self != CacheState.INVALID
+
+    @property
+    def is_owner(self) -> bool:
+        return self in (CacheState.MODIFIED, CacheState.OWNED)
+
+    @property
+    def can_write(self) -> bool:
+        return self == CacheState.MODIFIED
+
+
+class DirectoryState(str, Enum):
+    """Per-block stable states at the directory."""
+
+    UNCACHED = "U"
+    SHARED = "S"
+    OWNED = "M"   #: some cache holds the block in M or O

@@ -1,0 +1,32 @@
+"""MOESI broadcast snooping protocol (Section 3.2 of the paper).
+
+The snooping system broadcasts coherence requests on a totally ordered
+address network (:mod:`repro.coherence.snooping.bus`); data moves on a
+separate point-to-point data network modelled as a fixed latency.  The
+protocol corner case the paper speculates on is reproduced exactly:
+
+    a cache controller holding a block in Modified (or Owned) issues a
+    Writeback and, before observing its own Writeback on the address
+    network, observes a RequestReadWrite from another node (losing
+    ownership), and then observes a *second* RequestReadWrite from yet
+    another node.
+
+In the ``FULL`` variant that second transition is specified and handled; in
+the ``SPECULATIVE`` variant it is detected as a mis-speculation and triggers
+SafetyNet recovery, exactly as Section 3.2 proposes.
+"""
+
+from repro.coherence.snooping.states import SnoopState, WritebackPhase
+from repro.coherence.snooping.bus import AddressBus, BusRequest, BusRequestType
+from repro.coherence.snooping.cache_controller import SnoopingCacheController
+from repro.coherence.snooping.memory_controller import SnoopingMemoryController
+
+__all__ = [
+    "SnoopState",
+    "WritebackPhase",
+    "AddressBus",
+    "BusRequest",
+    "BusRequestType",
+    "SnoopingCacheController",
+    "SnoopingMemoryController",
+]

@@ -1,0 +1,141 @@
+"""Totally ordered broadcast address network ("the bus").
+
+Broadcast snooping relies on a network that establishes a single global
+order of coherence requests and delivers every request to every controller
+in that order.  The model here is a split-transaction bus: requests queue at
+the arbiter, one request is *ordered* per arbitration slot, and the ordered
+request is then snooped by all cache controllers and the memory controller.
+Data responses do not use the bus; they travel on a point-to-point data
+network modelled as a fixed latency chosen by the responder.
+
+The bus is also the snooping system's logical time base for SafetyNet:
+checkpoints are taken every N ordered requests (Table 2: 3,000 requests).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Deque, List, Optional
+
+from repro.coherence.common import BlockAddress
+from repro.sim.component import Component
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+
+
+class BusRequestType(str, Enum):
+    """Request types broadcast on the address network."""
+
+    GETS = "RequestReadOnly"
+    GETX = "RequestReadWrite"
+    WRITEBACK = "Writeback"
+
+
+_REQUEST_IDS = itertools.count()
+
+
+@dataclass
+class BusRequest:
+    """One coherence request queued for / ordered on the address network."""
+
+    requestor: int
+    address: BlockAddress
+    rtype: BusRequestType
+    #: Data value carried by Writebacks.
+    value: Optional[int] = None
+    request_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
+    issued_at: int = -1
+    ordered_at: int = -1
+
+
+#: A snooper receives every ordered request and returns True when it will
+#: supply the data for it (i.e. it is the owner).
+Snooper = Callable[[BusRequest], bool]
+
+
+class AddressBus(Component):
+    """Split-transaction ordered broadcast network."""
+
+    def __init__(self, sim: Simulator, *, arbitration_cycles: int = 10,
+                 snoop_latency_cycles: int = 12,
+                 stats: Optional[StatsRegistry] = None) -> None:
+        super().__init__("bus", sim, stats)
+        if arbitration_cycles < 1:
+            raise ValueError("arbitration_cycles must be >= 1")
+        self.arbitration_cycles = arbitration_cycles
+        self.snoop_latency_cycles = snoop_latency_cycles
+        self._queue: Deque[BusRequest] = deque()
+        self._snoopers: List[Snooper] = []
+        self._memory_snooper: Optional[Callable[[BusRequest, bool], None]] = None
+        self._ordered_hooks: List[Callable[[BusRequest], None]] = []
+        self._busy = False
+        self.requests_ordered = 0
+
+    # ------------------------------------------------------------------ wiring
+    def attach_snooper(self, snooper: Snooper) -> None:
+        """Attach a cache controller's snoop function."""
+        self._snoopers.append(snooper)
+
+    def attach_memory(self, memory_snooper: Callable[["BusRequest", bool], None]) -> None:
+        """Attach the memory controller.
+
+        The memory controller is called after the caches with a flag telling
+        it whether some cache claimed ownership of the data response.
+        """
+        self._memory_snooper = memory_snooper
+
+    def add_ordered_hook(self, hook: Callable[[BusRequest], None]) -> None:
+        """Called once per ordered request (SafetyNet logical time, stats)."""
+        self._ordered_hooks.append(hook)
+
+    # ------------------------------------------------------------------- issue
+    def issue(self, request: BusRequest) -> None:
+        """Queue a request for arbitration."""
+        request.issued_at = self.sim.now
+        self._queue.append(request)
+        self.count("requests_issued")
+        self._try_start()
+
+    @property
+    def queued_requests(self) -> int:
+        return len(self._queue)
+
+    def _try_start(self) -> None:
+        if self._busy or not self._queue:
+            return
+        self._busy = True
+        self.schedule(self.arbitration_cycles, self._order_next,
+                      label="bus.arbitrate")
+
+    def _order_next(self) -> None:
+        self._busy = False
+        if not self._queue:
+            return
+        request = self._queue.popleft()
+        request.ordered_at = self.sim.now
+        self.requests_ordered += 1
+        self.count("requests_ordered")
+        self.schedule(self.snoop_latency_cycles,
+                      lambda: self._broadcast(request), label="bus.snoop")
+        # Keep the pipeline going: next request can arbitrate immediately.
+        self._try_start()
+
+    def _broadcast(self, request: BusRequest) -> None:
+        owner_found = False
+        for snooper in self._snoopers:
+            if snooper(request):
+                owner_found = True
+        if self._memory_snooper is not None:
+            self._memory_snooper(request, owner_found)
+        for hook in self._ordered_hooks:
+            hook(request)
+
+    # ---------------------------------------------------------------- recovery
+    def flush(self) -> int:
+        """Drop every queued (un-ordered) request: part of system recovery."""
+        dropped = len(self._queue)
+        self._queue.clear()
+        return dropped

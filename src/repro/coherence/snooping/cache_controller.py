@@ -1,0 +1,414 @@
+"""Snooping cache controller (MOESI).
+
+The controller issues requests on the ordered address network, snoops every
+ordered request, and supplies data when it is the owner.  The Section 3.2
+corner case is modelled faithfully via :class:`SnoopWritebackRecord` (see
+:class:`repro.coherence.snooping.states.WritebackPhase`).
+
+Speculative vs. full variant:
+
+* ``SPECULATIVE`` — observing a second foreign RequestReadWrite while in the
+  LOST_OWNERSHIP transient is "the unspecified coherence transition"; the
+  controller reports a mis-speculation and the system recovers.
+* ``FULL`` — the transition is specified: the controller is no longer the
+  owner, so it supplies nothing and simply remains in LOST_OWNERSHIP until
+  its own Writeback is ordered (at which point the stale Writeback is
+  dropped by the memory controller).  The extra specification (and the extra
+  verification obligation that comes with it) is exactly what the
+  speculative design avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.coherence.cache import CacheArray, CacheLine
+from repro.coherence.common import BlockAddress, MemoryOp, MemoryRequest, Transaction
+from repro.coherence.snooping.bus import AddressBus, BusRequest, BusRequestType
+from repro.coherence.snooping.states import SnoopState, WritebackPhase
+from repro.core.events import MisspeculationEvent, SpeculationKind
+from repro.sim.component import Component
+from repro.sim.config import ProtocolVariant, SystemConfig
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+
+MisspeculationReporter = Callable[[MisspeculationEvent], None]
+#: Deliver data to another node: (dst_node, address, value).
+DataDelivery = Callable[[int, BlockAddress, int], None]
+
+
+@dataclass
+class SnoopWritebackRecord:
+    """One outstanding Writeback and its transient-state phase."""
+
+    address: BlockAddress
+    value: int
+    request: BusRequest
+    phase: WritebackPhase = WritebackPhase.WAITING_OWN_WB
+    issued_at: int = 0
+
+
+class SnoopingCacheController(Component):
+    """Per-node cache controller of the broadcast snooping system."""
+
+    #: Latency of a cache-to-cache data transfer on the data network.
+    CACHE_TO_CACHE_CYCLES = 40
+
+    def __init__(self, node_id: int, sim: Simulator, config: SystemConfig,
+                 cache: CacheArray, bus: AddressBus, deliver_data: DataDelivery, *,
+                 misspeculation_reporter: Optional[MisspeculationReporter] = None,
+                 stats: Optional[StatsRegistry] = None) -> None:
+        super().__init__(f"snoopctrl{node_id}", sim, stats)
+        self.node_id = node_id
+        self.config = config
+        self.variant = config.variant
+        self.cache = cache
+        self.bus = bus
+        self.deliver_data = deliver_data
+        self.misspeculation_reporter = misspeculation_reporter
+        self.transaction: Optional[Transaction] = None
+        self.writebacks: Dict[BlockAddress, SnoopWritebackRecord] = {}
+        #: Foreign requests ordered after our own RequestReadWrite but before
+        #: our data arrived; we owe them a data forward once we install
+        #: Modified (the classic IM_AD "remember to forward" transient).
+        self._pending_forwards: Dict[BlockAddress, List[BusRequest]] = {}
+        #: Addresses for which ownership has already been passed on to a
+        #: later RequestReadWrite (we stop collecting forwards for them).
+        self._ownership_passed: set = set()
+        self.may_issue: Callable[[int], bool] = lambda node: True
+        self.on_retire: Callable[[int], None] = lambda node: None
+        self.timeout_cycles: Optional[int] = None
+        self.detected_misspeculations = 0
+        self.corner_cases_handled = 0
+        #: Bumped on every recovery; delayed retries from before a recovery
+        #: are dropped when they fire.
+        self.generation = 0
+
+    # ================================================================ processor
+    def access(self, request: MemoryRequest,
+               on_complete: Callable[[MemoryRequest], None]) -> None:
+        """Handle one processor memory reference (blocking)."""
+        address = request.address
+        request.issued_at = self.sim.now
+        line = self.cache.lookup(address)
+        state = line.state if line is not None else SnoopState.INVALID
+
+        if request.op == MemoryOp.LOAD and state.has_valid_data:
+            self.cache.record_hit()
+            self.count("load_hits")
+            request.value = line.value
+            self._finish(request, on_complete, self.config.processor.l2_hit_cycles)
+            return
+        if request.op == MemoryOp.STORE and state.can_write:
+            self.cache.record_hit()
+            self.count("store_hits")
+            if state == SnoopState.EXCLUSIVE:
+                self.cache.set_state(address, SnoopState.MODIFIED)
+            self.cache.set_value(address, request.value)
+            self._finish(request, on_complete, self.config.processor.l2_hit_cycles)
+            return
+
+        self.cache.record_miss()
+        self.count("load_misses" if request.op == MemoryOp.LOAD else "store_misses")
+        self._issue_transaction(request, on_complete)
+
+    def _finish(self, request: MemoryRequest,
+                on_complete: Callable[[MemoryRequest], None], delay: int) -> None:
+        def _done() -> None:
+            request.completed_at = self.sim.now
+            on_complete(request)
+        self.schedule(delay, _done)
+
+    # ============================================================= transactions
+    def _issue_transaction(self, request: MemoryRequest,
+                           on_complete: Callable[[MemoryRequest], None]) -> None:
+        if self.transaction is not None:
+            raise RuntimeError(f"{self.name}: second outstanding reference")
+        if not self.may_issue(self.node_id):
+            generation = self.generation
+            self.schedule(50, lambda: (self._issue_transaction(request, on_complete)
+                                       if generation == self.generation else None))
+            return
+        txn = Transaction(node=self.node_id, address=request.address,
+                          op=request.op, started_at=self.sim.now)
+        txn.on_complete = lambda t: self._transaction_done(t, request, on_complete)
+        self.transaction = txn
+        if self.timeout_cycles is not None:
+            txn.timeout_event = self.schedule(
+                self.timeout_cycles, lambda: self._transaction_timeout(txn))
+        rtype = (BusRequestType.GETS if request.op == MemoryOp.LOAD
+                 else BusRequestType.GETX)
+        self.bus.issue(BusRequest(requestor=self.node_id, address=request.address,
+                                  rtype=rtype))
+        self.count("transactions_issued")
+
+    def _transaction_done(self, txn: Transaction, request: MemoryRequest,
+                          on_complete: Callable[[MemoryRequest], None]) -> None:
+        self.transaction = None
+        self.on_retire(self.node_id)
+        self.count("transactions_completed")
+        if request.op == MemoryOp.STORE:
+            if self.cache.contains(txn.address) and request.value is not None:
+                self.cache.set_value(txn.address, request.value)
+        else:
+            line = self.cache.peek(txn.address)
+            if line is not None and line.value is not None:
+                request.value = line.value
+            else:
+                # Late-invalidated load: the data satisfied the load but the
+                # line was not retained.
+                request.value = getattr(txn, "value_hint", None)
+        request.completed_at = self.sim.now
+        on_complete(request)
+
+    def _transaction_timeout(self, txn: Transaction) -> None:
+        if txn.completed or self.transaction is not txn:
+            return
+        self.detected_misspeculations += 1
+        self.count("timeout_detections")
+        self._report(MisspeculationEvent(
+            kind=SpeculationKind.INTERCONNECT_DEADLOCK,
+            detected_at=self.sim.now, node=self.node_id, address=txn.address,
+            description=f"snooping transaction {txn.txn_id} timed out"))
+
+    # ================================================================== snooping
+    def snoop(self, request: BusRequest) -> bool:
+        """Observe an ordered request; returns True if we will supply data."""
+        if request.requestor == self.node_id:
+            return self._snoop_own(request)
+        return self._snoop_foreign(request)
+
+    # ------------------------------------------------------------- own requests
+    def _snoop_own(self, request: BusRequest) -> bool:
+        if request.rtype == BusRequestType.WRITEBACK:
+            record = self.writebacks.pop(request.address, None)
+            if record is not None:
+                self.count("writebacks_ordered")
+            return False
+        # Own GETS/GETX ordered.
+        txn = self.transaction
+        if txn is not None and txn.address == request.address:
+            self.count("own_request_ordered")
+            txn.bus_ordered = True  # type: ignore[attr-defined]
+            line = self.cache.peek(request.address)
+            if line is not None and line.state.has_valid_data:
+                # Upgrade: we already hold valid data (e.g. Shared -> store);
+                # the global order of our request is what grants permission,
+                # so we can complete from our own copy without a data
+                # transfer.  Other sharers invalidate on their snoop.
+                value = line.value if line.value is not None else 0
+                self.schedule(1, lambda: self.receive_data(request.address, value))
+                return True
+        return False
+
+    # --------------------------------------------------------- foreign requests
+    def _snoop_foreign(self, request: BusRequest) -> bool:
+        if request.rtype == BusRequestType.WRITEBACK:
+            # Another node's writeback does not affect our state.
+            return False
+        address = request.address
+        line = self.cache.peek(address)
+        state = line.state if line is not None else SnoopState.INVALID
+        record = self.writebacks.get(address)
+
+        if request.rtype == BusRequestType.GETS:
+            return self._snoop_foreign_gets(request, line, state, record)
+        return self._snoop_foreign_getx(request, line, state, record)
+
+    def _pending_store_txn(self, address: BlockAddress) -> Optional[Transaction]:
+        """Our outstanding, already-ordered RequestReadWrite for ``address``."""
+        txn = self.transaction
+        if (txn is not None and txn.address == address and not txn.completed
+                and txn.op == MemoryOp.STORE and not txn.data_received
+                and getattr(txn, "bus_ordered", False)
+                and address not in self._ownership_passed):
+            return txn
+        return None
+
+    def _snoop_foreign_gets(self, request: BusRequest, line: Optional[CacheLine],
+                            state: SnoopState,
+                            record: Optional[SnoopWritebackRecord]) -> bool:
+        if state.is_owner:
+            # Supply data and keep a shared copy (M/E -> O keeps ownership of
+            # the dirty data; O stays O).
+            if state in (SnoopState.MODIFIED, SnoopState.EXCLUSIVE):
+                self.cache.set_state(request.address, SnoopState.OWNED)
+            self._supply(request, line.value if line is not None else 0)
+            return True
+        if record is not None and record.phase == WritebackPhase.WAITING_OWN_WB:
+            # Still the owner until our Writeback is ordered.
+            self._supply(request, record.value)
+            return True
+        if self._pending_store_txn(request.address) is not None:
+            # The global order has already made us the next owner; we owe
+            # this reader a forward once our data arrives (IM_AD transient).
+            self._pending_forwards.setdefault(request.address, []).append(request)
+            self.count("forwards_deferred")
+            return True
+        return False
+
+    def _snoop_foreign_getx(self, request: BusRequest, line: Optional[CacheLine],
+                            state: SnoopState,
+                            record: Optional[SnoopWritebackRecord]) -> bool:
+        supplied = False
+        if state.is_owner:
+            self._supply(request, line.value if line is not None else 0)
+            supplied = True
+        if state.has_valid_data:
+            self.cache.set_state(request.address, SnoopState.INVALID)
+
+        if self._pending_store_txn(request.address) is not None:
+            # We are the owner-to-be; forward to this writer once our data
+            # arrives, and stop collecting further forwards (ownership passes
+            # to it in the global order).
+            self._pending_forwards.setdefault(request.address, []).append(request)
+            self._ownership_passed.add(request.address)
+            self.count("forwards_deferred")
+            supplied = True
+        elif (self.transaction is not None
+              and self.transaction.address == request.address
+              and not self.transaction.completed
+              and self.transaction.op == MemoryOp.LOAD
+              and getattr(self.transaction, "bus_ordered", False)
+              and not self.transaction.data_received):
+            # Our ordered read will receive data that this later writer
+            # immediately invalidates: use the value for the one load but do
+            # not keep the line (IS_A "late invalidate" transient).
+            self.transaction.invalidate_on_install = True  # type: ignore[attr-defined]
+            self.count("late_invalidates")
+
+        if record is not None:
+            if record.phase == WritebackPhase.WAITING_OWN_WB:
+                # First racing RequestReadWrite: supply data, lose ownership,
+                # keep waiting for our own Writeback to be ordered.
+                self._supply(request, record.value)
+                record.phase = WritebackPhase.LOST_OWNERSHIP
+                record.request.value = None  # our writeback is now stale
+                self.count("writeback_race_first_getx")
+                supplied = True
+            elif record.phase == WritebackPhase.LOST_OWNERSHIP:
+                # Second racing RequestReadWrite: the Section 3.2 corner case.
+                self._corner_case(request)
+        return supplied
+
+    def _corner_case(self, request: BusRequest) -> None:
+        if self.variant == ProtocolVariant.SPECULATIVE:
+            self.detected_misspeculations += 1
+            self.count("corner_case_detections")
+            self._report(MisspeculationEvent(
+                kind=SpeculationKind.SNOOPING_CORNER_CASE,
+                detected_at=self.sim.now, node=self.node_id,
+                address=request.address,
+                description=("second foreign RequestReadWrite observed while "
+                             "awaiting own Writeback with ownership already lost"),
+                details={"second_requestor": request.requestor}))
+        else:
+            # Full protocol: the transition is specified — we are no longer
+            # the owner, the current owner supplies data, nothing to do.
+            self.corner_cases_handled += 1
+            self.count("corner_case_handled")
+
+    def _supply(self, request: BusRequest, value: Optional[int]) -> None:
+        self.count("cache_to_cache_transfers")
+        self.schedule(self.CACHE_TO_CACHE_CYCLES,
+                      lambda: self.deliver_data(request.requestor, request.address,
+                                                value if value is not None else 0))
+
+    # ================================================================== data path
+    def receive_data(self, address: BlockAddress, value: int) -> None:
+        """Data response arriving on the data network."""
+        txn = self.transaction
+        if txn is None or txn.address != address or txn.completed:
+            self.count("stale_data")
+            return
+        if txn.data_received:
+            self.count("duplicate_data")
+            return
+        txn.data_received = True
+        txn.value_hint = value  # type: ignore[attr-defined]
+        self._install_line(txn, value)
+        if getattr(txn, "invalidate_on_install", False) and self.cache.contains(address):
+            # Late invalidate: the value satisfies this one load, the line is
+            # not kept (a later writer already owns the block).
+            self.cache.set_state(address, SnoopState.INVALID)
+        txn.complete()
+        self._process_pending_forwards(address)
+
+    def _process_pending_forwards(self, address: BlockAddress) -> None:
+        """Serve the foreign requests ordered between our GETX and our data."""
+        pending = self._pending_forwards.pop(address, [])
+        self._ownership_passed.discard(address)
+        if not pending:
+            return
+        line = self.cache.peek(address)
+        value = line.value if line is not None and line.value is not None else 0
+        for request in pending:
+            self._supply(request, value)
+            if request.rtype == BusRequestType.GETX:
+                if self.cache.contains(address):
+                    self.cache.set_state(address, SnoopState.INVALID)
+            else:
+                if self.cache.contains(address):
+                    self.cache.set_state(address, SnoopState.OWNED)
+
+    def _install_line(self, txn: Transaction, value: int) -> None:
+        target = (SnoopState.SHARED if txn.op == MemoryOp.LOAD
+                  else SnoopState.MODIFIED)
+        if self.cache.contains(txn.address):
+            self.cache.set_state(txn.address, target)
+            self.cache.set_value(txn.address, value)
+            return
+        if (self.cache.occupancy_of_set(txn.address)
+                >= self.config.l2.associativity):
+            victim = self.cache.find_victim(
+                txn.address, evictable=lambda line: self._evictable(line))
+            if victim is None:
+                generation = self.generation
+                self.schedule(20, lambda: (self._install_line(txn, value)
+                                           if generation == self.generation else None))
+                return
+            self._evict(victim)
+        self.cache.allocate(txn.address, target, value)
+
+    def _evictable(self, line: CacheLine) -> bool:
+        return line.address not in self.writebacks and (
+            self.transaction is None or line.address != self.transaction.address)
+
+    def _evict(self, victim: CacheLine) -> None:
+        state: SnoopState = victim.state
+        if state.is_dirty:
+            request = BusRequest(requestor=self.node_id, address=victim.address,
+                                 rtype=BusRequestType.WRITEBACK,
+                                 value=victim.value if victim.value is not None else 0)
+            self.writebacks[victim.address] = SnoopWritebackRecord(
+                address=victim.address,
+                value=victim.value if victim.value is not None else 0,
+                request=request, issued_at=self.sim.now)
+            self.bus.issue(request)
+            self.count("writebacks_issued")
+        else:
+            self.count("silent_evictions")
+        self.cache.set_state(victim.address, SnoopState.INVALID)
+
+    # ==================================================================== misc
+    def squash_transient_state(self) -> None:
+        """Drop outstanding transactions/writebacks (system recovery)."""
+        self.generation += 1
+        if self.transaction is not None and self.transaction.timeout_event is not None:
+            self.transaction.timeout_event.cancel()
+        self.transaction = None
+        self.writebacks.clear()
+        self._pending_forwards.clear()
+        self._ownership_passed.clear()
+
+    def _report(self, event: MisspeculationEvent) -> None:
+        if self.misspeculation_reporter is not None:
+            self.misspeculation_reporter(event)
+
+    def invariant_errors(self) -> List[str]:
+        errors: List[str] = []
+        for line in self.cache.lines():
+            if line.state == SnoopState.INVALID:
+                errors.append(f"{self.name}: invalid line resident {line.address:#x}")
+        return errors

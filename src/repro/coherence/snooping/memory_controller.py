@@ -1,0 +1,85 @@
+"""Memory controller of the snooping system.
+
+The memory observes every ordered request on the address network.  It
+supplies data when no cache claims ownership, and it absorbs Writebacks that
+are still owned by their writer when they are ordered (a Writeback whose
+writer lost ownership to an intervening RequestReadWrite is stale and is
+dropped, matching the protocol's ownership hand-off rules).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.coherence.common import BlockAddress
+from repro.coherence.snooping.bus import BusRequest, BusRequestType
+from repro.sim.component import Component
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+
+#: Observer of memory-value changes (SafetyNet undo logging).
+MemoryObserver = Callable[[BlockAddress, str, object, object], None]
+#: Callback used to deliver data to a requestor: (requestor, address, value).
+DataDelivery = Callable[[int, BlockAddress, int], None]
+
+
+class SnoopingMemoryController(Component):
+    """The (logically single) memory image behind the snooping caches."""
+
+    def __init__(self, sim: Simulator, *, memory_latency_cycles: int,
+                 deliver_data: DataDelivery,
+                 stats: Optional[StatsRegistry] = None) -> None:
+        super().__init__("snoop-memory", sim, stats)
+        self.memory_latency_cycles = memory_latency_cycles
+        self.deliver_data = deliver_data
+        self.values: Dict[BlockAddress, int] = {}
+        self._observer: Optional[MemoryObserver] = None
+        #: Returns True when the writer of a Writeback was still the owner at
+        #: ordering time (i.e. memory must accept it).  The default checks the
+        #: request's data value, which the writing cache controller nulls out
+        #: when it loses ownership before its Writeback is ordered.
+        self.writeback_still_owned: Callable[[BusRequest], bool] = (
+            lambda req: req.value is not None)
+
+    # -------------------------------------------------------------- observers
+    def set_observer(self, observer: Optional[MemoryObserver]) -> None:
+        self._observer = observer
+
+    def _notify(self, address: BlockAddress, old, new) -> None:
+        if self._observer is not None and old != new:
+            self._observer(address, "value", old, new)
+
+    # ------------------------------------------------------------------ values
+    def read(self, address: BlockAddress) -> int:
+        return self.values.get(address, 0)
+
+    def write(self, address: BlockAddress, value: int) -> None:
+        old = self.values.get(address, 0)
+        self._notify(address, old, value)
+        self.values[address] = value
+
+    def restore_field(self, address: BlockAddress, field_name: str, value) -> None:
+        """Apply one SafetyNet undo record."""
+        if field_name != "value":  # pragma: no cover - defensive
+            raise ValueError(f"unknown memory field {field_name!r}")
+        self.values[address] = value if value is not None else 0
+
+    # ------------------------------------------------------------------- snoop
+    def snoop(self, request: BusRequest, owner_found: bool) -> None:
+        """Observe an ordered request (called by the address bus)."""
+        if request.rtype == BusRequestType.WRITEBACK:
+            if self.writeback_still_owned(request) and request.value is not None:
+                self.write(request.address, request.value)
+                self.count("writebacks_accepted")
+            else:
+                self.count("writebacks_dropped")
+            return
+        if owner_found:
+            # A cache will supply the data (cache-to-cache transfer).
+            self.count("cache_supplied")
+            return
+        self.count("memory_supplied")
+        value = self.read(request.address)
+        self.schedule(self.memory_latency_cycles,
+                      lambda: self.deliver_data(request.requestor, request.address, value),
+                      label="memory.data")

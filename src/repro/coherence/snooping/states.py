@@ -1,0 +1,48 @@
+"""States of the MOESI snooping protocol."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class SnoopState(str, Enum):
+    """Per-block stable states at a snooping cache controller (MOESI)."""
+
+    MODIFIED = "M"
+    OWNED = "O"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def has_valid_data(self) -> bool:
+        return self != SnoopState.INVALID
+
+    @property
+    def is_owner(self) -> bool:
+        """States in which this cache must supply data to snooped requests."""
+        return self in (SnoopState.MODIFIED, SnoopState.OWNED, SnoopState.EXCLUSIVE)
+
+    @property
+    def can_write(self) -> bool:
+        return self in (SnoopState.MODIFIED, SnoopState.EXCLUSIVE)
+
+    @property
+    def is_dirty(self) -> bool:
+        return self in (SnoopState.MODIFIED, SnoopState.OWNED)
+
+
+class WritebackPhase(str, Enum):
+    """Phases of an outstanding Writeback (the Section 3.2 transients).
+
+    ``WAITING_OWN_WB`` is the first transient state: the Writeback has been
+    issued but not yet observed on the address network, and the cache is
+    still the owner.  ``LOST_OWNERSHIP`` is the second transient state,
+    entered when a foreign RequestReadWrite is observed first.  Observing
+    *another* foreign RequestReadWrite while in ``LOST_OWNERSHIP`` is the
+    corner case: handled in the FULL variant, detected as a mis-speculation
+    in the SPECULATIVE variant.
+    """
+
+    WAITING_OWN_WB = "waiting-own-wb"
+    LOST_OWNERSHIP = "lost-ownership"

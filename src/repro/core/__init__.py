@@ -1,0 +1,50 @@
+"""Speculation-for-simplicity framework (the paper's primary contribution).
+
+The framework of Section 2 specifies four features a speculative design must
+provide; this package implements them as composable pieces:
+
+1. **Infrequency** — not a mechanism but a property; the framework accounts
+   for mis-speculation rates so experiments can verify it
+   (:class:`repro.core.framework.SpeculationFramework` statistics).
+2. **Detection** — detection logic lives where the paper puts it (inside the
+   cache controllers as "one specific invalid transition", and as a
+   transaction timeout); :mod:`repro.core.detection` additionally provides
+   the periodic recovery injector used by the Figure 4 stress test.
+3. **Recovery** — delegated to :class:`repro.safetynet.SafetyNet`.
+4. **Forward progress** — :mod:`repro.core.forward_progress` implements the
+   two policies the paper uses: selectively disabling adaptive routing, and
+   "slow-start" restriction of outstanding coherence transactions.
+
+:mod:`repro.core.catalog` carries the Table 1 characterisation of the three
+speculative designs.
+"""
+
+from repro.core.events import MisspeculationEvent, RecoveryRecord, SpeculationKind
+from repro.core.detection import RecoveryRateInjector
+from repro.core.forward_progress import (
+    CombinedPolicy,
+    DisableAdaptiveRoutingPolicy,
+    ForwardProgressPolicy,
+    NoOpPolicy,
+    SlowStartGate,
+    SlowStartPolicy,
+)
+from repro.core.framework import SpeculationFramework
+from repro.core.catalog import SpeculativeMechanism, TABLE1_MECHANISMS, table1_rows
+
+__all__ = [
+    "MisspeculationEvent",
+    "RecoveryRecord",
+    "SpeculationKind",
+    "RecoveryRateInjector",
+    "ForwardProgressPolicy",
+    "NoOpPolicy",
+    "DisableAdaptiveRoutingPolicy",
+    "SlowStartPolicy",
+    "SlowStartGate",
+    "CombinedPolicy",
+    "SpeculationFramework",
+    "SpeculativeMechanism",
+    "TABLE1_MECHANISMS",
+    "table1_rows",
+]

@@ -1,0 +1,8 @@
+"""Experiment drivers: one module per table/figure of the paper's evaluation.
+
+Every driver exposes a ``run(...)`` function returning a plain dataclass or
+dict of rows, plus a ``main()`` usable from the command line.  The benchmark
+harness under ``benchmarks/`` calls these same drivers so that the numbers
+printed by ``pytest benchmarks/ --benchmark-only`` and by the standalone
+scripts are identical.
+"""

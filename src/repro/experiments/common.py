@@ -1,0 +1,115 @@
+"""Shared configuration presets and run helpers for the experiment drivers.
+
+Two presets are provided:
+
+* :func:`paper_config` — the Table 2 target system (16 nodes, 128 KB L1,
+  4 MB L2, 100k-cycle checkpoints).  Faithful but slow to simulate in pure
+  Python; use it for spot checks.
+* :func:`benchmark_config` — a proportionally scaled system (same topology
+  and protocol, smaller caches and reference streams, shorter checkpoint
+  interval, ``cycles_per_second`` scaled accordingly) that keeps every
+  benchmark run in the seconds range.  EXPERIMENTS.md records which preset
+  produced each reported number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional
+
+from repro.sim.config import (
+    CacheConfig,
+    CheckpointConfig,
+    InterconnectConfig,
+    ProtocolKind,
+    ProtocolVariant,
+    RoutingPolicy,
+    SpeculationConfig,
+    SystemConfig,
+    WorkloadConfig,
+)
+from repro.system import build_system
+from repro.system.results import RunResult
+from repro.workloads import workload_names
+
+#: Default per-processor reference-stream length for benchmark runs.
+BENCH_REFERENCES = 500
+#: Scaled "second" used by the benchmark preset (see DESIGN.md §2).
+BENCH_CYCLES_PER_SECOND = 2.0e6
+
+
+def paper_config(workload: str = "jbb", *, seed: int = 1,
+                 references: int = 20_000) -> SystemConfig:
+    """The Table 2 target system (16 nodes, full-size caches)."""
+    cfg = SystemConfig.paper_defaults()
+    return cfg.with_updates(
+        workload=WorkloadConfig(name=workload, references_per_processor=references,
+                                seed=seed))
+
+
+def benchmark_config(workload: str = "jbb", *, seed: int = 1,
+                     references: int = BENCH_REFERENCES,
+                     variant: ProtocolVariant = ProtocolVariant.SPECULATIVE,
+                     routing: RoutingPolicy = RoutingPolicy.ADAPTIVE,
+                     link_bandwidth: float = 400e6,
+                     protocol: ProtocolKind = ProtocolKind.DIRECTORY,
+                     speculative_no_vc: bool = False,
+                     switch_buffer_capacity: int = 16) -> SystemConfig:
+    """A proportionally scaled 16-node system for benchmark runs."""
+    return SystemConfig(
+        num_processors=16,
+        protocol=protocol,
+        variant=variant,
+        l1=CacheConfig(16 * 1024, 2),
+        l2=CacheConfig(256 * 1024, 4),
+        memory_bytes=64 * 1024 * 1024,
+        memory_latency_cycles=400,
+        interconnect=InterconnectConfig(
+            mesh_width=4, mesh_height=4,
+            link_bandwidth_bytes_per_sec=link_bandwidth,
+            link_latency_cycles=8,
+            switch_buffer_capacity=switch_buffer_capacity,
+            routing=routing,
+            speculative_no_vc=speculative_no_vc,
+            nic_injection_limit=4,
+        ),
+        checkpoint=CheckpointConfig(
+            directory_interval_cycles=20_000,
+            snooping_interval_requests=600,
+            recovery_latency_cycles=2_000,
+            register_checkpoint_latency_cycles=100,
+        ),
+        speculation=SpeculationConfig(
+            adaptive_routing_disable_cycles=50_000,
+            slow_start_cycles=40_000,
+        ),
+        workload=WorkloadConfig(name=workload, references_per_processor=references,
+                                seed=seed),
+        cycles_per_second=BENCH_CYCLES_PER_SECOND,
+    )
+
+
+def run_config(config: SystemConfig, *, label: Optional[str] = None,
+               recovery_rate_per_second: Optional[float] = None,
+               max_cycles: Optional[int] = None) -> RunResult:
+    """Build and run one system, optionally with the Figure 4 injector."""
+    system = build_system(config, label=label)
+    if recovery_rate_per_second:
+        system.attach_recovery_injector(recovery_rate_per_second)
+    return system.run(max_cycles=max_cycles)
+
+
+def default_workloads(subset: Optional[Iterable[str]] = None) -> List[str]:
+    """The workload list experiments iterate over (figure order)."""
+    names = workload_names()
+    if subset is None:
+        return names
+    wanted = list(subset)
+    unknown = [w for w in wanted if w not in names]
+    if unknown:
+        raise ValueError(f"unknown workloads {unknown}; available {names}")
+    return wanted
+
+
+def results_by_workload(results: Iterable[RunResult]) -> Dict[str, RunResult]:
+    return {result.workload: result for result in results}

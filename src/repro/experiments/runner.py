@@ -1,0 +1,72 @@
+"""Run every experiment and print (or save) a combined report.
+
+``python -m repro.experiments.runner`` regenerates every table and figure of
+the paper's evaluation in one go, using the benchmark preset.  Pass
+``--quick`` to use a reduced workload subset for a fast smoke run, and
+``--output PATH`` to also write the report to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import (
+    buffer_sweep,
+    dir_reordering,
+    fig1_reordering_demo,
+    fig2_endpoint_deadlock,
+    fig3_switch_deadlock,
+    fig4_misspeculation_rate,
+    fig5_adaptive_routing,
+    snooping_cornercase,
+    table1_framework,
+    table2_parameters,
+    table3_workloads,
+)
+
+
+def run_all(*, quick: bool = False) -> str:
+    """Run every experiment driver and return the combined report text."""
+    workloads = ["jbb", "oltp"] if quick else None
+    references = 250 if quick else 400
+    sections: List[str] = []
+
+    sections.append(table1_framework.run().format())
+    sections.append(table2_parameters.run().format())
+    sections.append(table3_workloads.run().format())
+    sections.append(fig1_reordering_demo.run().format())
+    sections.append(fig2_endpoint_deadlock.run().format())
+    sections.append(fig3_switch_deadlock.run().format())
+    sections.append(fig4_misspeculation_rate.run(
+        workloads, references=references).format())
+    sections.append(fig5_adaptive_routing.run(
+        workloads, references=references).format())
+    sections.append(dir_reordering.run(
+        workloads, references=references).format())
+    sections.append(snooping_cornercase.run(
+        workloads, references=references).format())
+    sections.append(buffer_sweep.run(
+        workloads if workloads else ["oltp"], references=max(200, references // 2)).format())
+
+    return ("\n\n" + "=" * 78 + "\n\n").join(sections)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="use a reduced workload subset")
+    parser.add_argument("--output", type=str, default=None,
+                        help="also write the report to this file")
+    args = parser.parse_args(argv)
+    report = run_all(quick=args.quick)
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

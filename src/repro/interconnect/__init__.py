@@ -1,0 +1,53 @@
+"""Interconnection-network substrate.
+
+A 2D bidirectional torus of switches with finite input buffering,
+dimension-order or minimal adaptive routing, optional virtual
+networks/channels, and the two deadlock-related facilities the paper relies
+on: a wait-for-graph detector (ground truth, used by tests and the
+illustrative Figure 2/3 experiments) and the message-timeout detector that
+the speculative design uses in production.
+"""
+
+from repro.interconnect.message import (
+    MessageClass,
+    NetworkMessage,
+    VirtualNetwork,
+)
+from repro.interconnect.topology import TorusTopology, Direction
+from repro.interconnect.routing import (
+    AdaptiveMinimalRouting,
+    DimensionOrderRouting,
+    RoutingAlgorithm,
+)
+from repro.interconnect.buffers import FiniteBuffer
+from repro.interconnect.link import Link
+from repro.interconnect.switch import Switch
+from repro.interconnect.network import TorusNetwork, OrderingTracker
+from repro.interconnect.deadlock import (
+    DeadlockReport,
+    WaitForGraph,
+    detect_endpoint_deadlock,
+    detect_network_deadlock,
+    detect_switch_deadlock,
+)
+
+__all__ = [
+    "MessageClass",
+    "NetworkMessage",
+    "VirtualNetwork",
+    "TorusTopology",
+    "Direction",
+    "RoutingAlgorithm",
+    "DimensionOrderRouting",
+    "AdaptiveMinimalRouting",
+    "FiniteBuffer",
+    "Link",
+    "Switch",
+    "TorusNetwork",
+    "OrderingTracker",
+    "WaitForGraph",
+    "DeadlockReport",
+    "detect_switch_deadlock",
+    "detect_network_deadlock",
+    "detect_endpoint_deadlock",
+]

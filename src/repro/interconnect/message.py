@@ -1,0 +1,140 @@
+"""Network messages, message classes and virtual networks.
+
+The directory protocol of Section 3.1 defines four classes of messages —
+Request, ForwardedRequest, Response and FinalAck — and each class travels on
+a logically separate *virtual network*.  The network layer only cares about
+the class (for virtual-network separation), the size (for serialisation
+delay) and the endpoints; the coherence payload is opaque to it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum, IntEnum
+from typing import Any, List, Optional, Tuple
+
+
+class VirtualNetwork(IntEnum):
+    """The four virtual networks of the directory protocol."""
+
+    REQUEST = 0
+    FORWARDED_REQUEST = 1
+    RESPONSE = 2
+    FINAL_ACK = 3
+
+
+class MessageClass(str, Enum):
+    """Coherence message types carried over the network.
+
+    The enum mirrors Section 3.1 of the paper:
+
+    * Requests (processor -> directory): ``REQUEST_READ_ONLY``,
+      ``REQUEST_READ_WRITE``, ``WRITEBACK``.
+    * Forwarded requests (directory -> processor):
+      ``FORWARDED_REQUEST_READ_ONLY``, ``FORWARDED_REQUEST_READ_WRITE``,
+      ``INVALIDATION``, ``WRITEBACK_ACK``.
+    * Responses (processor/directory -> requestor): ``DATA``, ``ACK``,
+      ``NACK``.
+    * ``FINAL_ACK`` coordinates SafetyNet checkpoints.
+    """
+
+    REQUEST_READ_ONLY = "RequestReadOnly"
+    REQUEST_READ_WRITE = "RequestReadWrite"
+    WRITEBACK = "Writeback"
+    FORWARDED_REQUEST_READ_ONLY = "ForwardedRequestReadOnly"
+    FORWARDED_REQUEST_READ_WRITE = "ForwardedRequestReadWrite"
+    INVALIDATION = "Invalidation"
+    WRITEBACK_ACK = "WritebackAck"
+    DATA = "Data"
+    ACK = "Ack"
+    NACK = "Nack"
+    FINAL_ACK = "FinalAck"
+
+    @property
+    def virtual_network(self) -> VirtualNetwork:
+        """Virtual network this message class travels on."""
+        return _CLASS_TO_VNET[self]
+
+    @property
+    def carries_data(self) -> bool:
+        """True for messages that carry a 64-byte data block."""
+        return self in (MessageClass.DATA, MessageClass.WRITEBACK)
+
+
+_CLASS_TO_VNET = {
+    MessageClass.REQUEST_READ_ONLY: VirtualNetwork.REQUEST,
+    MessageClass.REQUEST_READ_WRITE: VirtualNetwork.REQUEST,
+    MessageClass.WRITEBACK: VirtualNetwork.REQUEST,
+    MessageClass.FORWARDED_REQUEST_READ_ONLY: VirtualNetwork.FORWARDED_REQUEST,
+    MessageClass.FORWARDED_REQUEST_READ_WRITE: VirtualNetwork.FORWARDED_REQUEST,
+    MessageClass.INVALIDATION: VirtualNetwork.FORWARDED_REQUEST,
+    MessageClass.WRITEBACK_ACK: VirtualNetwork.FORWARDED_REQUEST,
+    MessageClass.DATA: VirtualNetwork.RESPONSE,
+    MessageClass.ACK: VirtualNetwork.RESPONSE,
+    MessageClass.NACK: VirtualNetwork.RESPONSE,
+    MessageClass.FINAL_ACK: VirtualNetwork.FINAL_ACK,
+}
+
+_MESSAGE_IDS = itertools.count()
+
+
+@dataclass
+class NetworkMessage:
+    """One message in flight through the interconnection network.
+
+    The network layer fills in the bookkeeping fields (``msg_id``,
+    ``send_seq``, ``injected_at``, ``hops``); callers supply the endpoints,
+    the class, the size and the opaque coherence payload.
+    """
+
+    src: int
+    dst: int
+    msg_class: MessageClass
+    size_bytes: int
+    payload: Any = None
+    #: Memory block address the message concerns (None for e.g. FinalAck).
+    address: Optional[int] = None
+    msg_id: int = field(default_factory=lambda: next(_MESSAGE_IDS))
+    #: Per (src, dst, virtual network) sequence number assigned at injection.
+    send_seq: int = -1
+    injected_at: int = -1
+    delivered_at: int = -1
+    hops: int = 0
+    #: The path of switch ids actually traversed (filled in by the switches).
+    path: List[int] = field(default_factory=list)
+
+    @property
+    def virtual_network(self) -> VirtualNetwork:
+        return self.msg_class.virtual_network
+
+    def ordering_key(self) -> Tuple[int, int, VirtualNetwork]:
+        """Key under which point-to-point ordering is defined."""
+        return (self.src, self.dst, self.virtual_network)
+
+    @property
+    def latency(self) -> int:
+        """End-to-end latency in cycles (valid once delivered)."""
+        if self.delivered_at < 0 or self.injected_at < 0:
+            raise ValueError("message has not been delivered yet")
+        return self.delivered_at - self.injected_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Msg {self.msg_id} {self.msg_class.value} "
+                f"{self.src}->{self.dst} addr={self.address}>")
+
+
+def control_message(src: int, dst: int, msg_class: MessageClass, *,
+                    address: Optional[int] = None, payload: Any = None,
+                    size_bytes: int = 8) -> NetworkMessage:
+    """Convenience constructor for a small control message."""
+    return NetworkMessage(src=src, dst=dst, msg_class=msg_class,
+                          size_bytes=size_bytes, payload=payload, address=address)
+
+
+def data_message(src: int, dst: int, msg_class: MessageClass, *,
+                 address: Optional[int] = None, payload: Any = None,
+                 size_bytes: int = 72) -> NetworkMessage:
+    """Convenience constructor for a data-carrying message (block + header)."""
+    return NetworkMessage(src=src, dst=dst, msg_class=msg_class,
+                          size_bytes=size_bytes, payload=payload, address=address)

@@ -1,0 +1,141 @@
+"""Routing algorithms for the 2D torus.
+
+Two algorithms, matching Section 3.1 of the paper:
+
+* :class:`DimensionOrderRouting` — static X-then-Y routing.  Every message
+  between a given source and destination follows the same path, so the
+  network trivially preserves point-to-point ordering per virtual network.
+* :class:`AdaptiveMinimalRouting` — at each hop the message may take any
+  direction that lies on a minimal path; the switch picks the direction
+  whose outgoing queue is shortest (ties broken deterministically, with an
+  optional random tie-break stream).  Two messages between the same pair of
+  nodes can take different paths and arrive out of order — the property the
+  speculative directory protocol relies on being *rare*.
+
+Adaptive routing can be *selectively disabled* (the forward-progress
+mechanism of Section 3.1): while disabled the adaptive router behaves exactly
+like dimension-order routing, which guarantees the reordering race cannot
+recur during re-execution.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List, Optional
+
+from repro.interconnect.message import NetworkMessage
+from repro.interconnect.topology import Direction, TorusTopology
+from repro.sim.rng import DeterministicRng
+
+
+class RoutingAlgorithm(ABC):
+    """Chooses the output direction for a message at a switch."""
+
+    name = "abstract"
+
+    def __init__(self, topology: TorusTopology) -> None:
+        self.topology = topology
+
+    @abstractmethod
+    def route(self, switch_id: int, message: NetworkMessage,
+              congestion: Callable[[Direction], int]) -> Direction:
+        """Return the output direction for ``message`` at ``switch_id``.
+
+        ``congestion(direction)`` reports the number of occupied downstream
+        slots in that direction (higher means more congested); static routing
+        ignores it.
+        """
+
+    @property
+    def is_adaptive(self) -> bool:
+        return False
+
+
+class DimensionOrderRouting(RoutingAlgorithm):
+    """Deterministic X-then-Y routing (static)."""
+
+    name = "static"
+
+    def route(self, switch_id: int, message: NetworkMessage,
+              congestion: Callable[[Direction], int]) -> Direction:
+        return self.topology.dimension_order_direction(switch_id, message.dst)
+
+
+class AdaptiveMinimalRouting(RoutingAlgorithm):
+    """Minimal adaptive routing choosing the least congested direction.
+
+    The algorithm is the one described in the paper: "allows messages to
+    choose among minimal distance paths based on outgoing queue lengths in
+    each direction".
+    """
+
+    name = "adaptive"
+
+    def __init__(self, topology: TorusTopology,
+                 rng: Optional[DeterministicRng] = None,
+                 random_tie_break: bool = False) -> None:
+        super().__init__(topology)
+        self.rng = rng if rng is not None else DeterministicRng(0)
+        self.random_tie_break = random_tie_break
+        self._disabled_until = -1
+        self._now: Callable[[], int] = lambda: 0
+        self.decisions = 0
+        self.non_dimension_order_choices = 0
+
+    # -------------------------------------------------------------- disabling
+    def bind_clock(self, now: Callable[[], int]) -> None:
+        """Give the router access to the simulation clock (for disable windows)."""
+        self._now = now
+
+    def disable_until(self, cycle: int) -> None:
+        """Selectively disable adaptivity until ``cycle`` (forward progress)."""
+        self._disabled_until = max(self._disabled_until, cycle)
+
+    def enable(self) -> None:
+        """Re-enable adaptive routing immediately."""
+        self._disabled_until = -1
+
+    @property
+    def currently_adaptive(self) -> bool:
+        return self._now() >= self._disabled_until
+
+    @property
+    def is_adaptive(self) -> bool:
+        return True
+
+    # ----------------------------------------------------------------- routing
+    def route(self, switch_id: int, message: NetworkMessage,
+              congestion: Callable[[Direction], int]) -> Direction:
+        static_choice = self.topology.dimension_order_direction(switch_id, message.dst)
+        if not self.currently_adaptive:
+            return static_choice
+
+        options = self.topology.minimal_directions(switch_id, message.dst)
+        if len(options) <= 1:
+            return options[0] if options else static_choice
+
+        self.decisions += 1
+        scored = [(congestion(direction), direction) for direction in options]
+        best_score = min(score for score, _ in scored)
+        best = [direction for score, direction in scored if score == best_score]
+        if len(best) == 1:
+            choice = best[0]
+        elif self.random_tie_break:
+            choice = self.rng.choice("adaptive-tie-break", sorted(best, key=lambda d: d.value))
+        else:
+            # Deterministic tie break: prefer the dimension-order direction.
+            choice = static_choice if static_choice in best else sorted(
+                best, key=lambda d: d.value)[0]
+        if choice != static_choice:
+            self.non_dimension_order_choices += 1
+        return choice
+
+
+def make_routing(policy: str, topology: TorusTopology,
+                 rng: Optional[DeterministicRng] = None) -> RoutingAlgorithm:
+    """Factory keyed by :class:`repro.sim.config.RoutingPolicy` values."""
+    if policy == "static":
+        return DimensionOrderRouting(topology)
+    if policy == "adaptive":
+        return AdaptiveMinimalRouting(topology, rng=rng)
+    raise ValueError(f"unknown routing policy {policy!r}")

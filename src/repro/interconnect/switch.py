@@ -1,0 +1,288 @@
+"""Torus switch with finite input buffering and credit-style backpressure.
+
+Each switch owns:
+
+* one input :class:`~repro.interconnect.virtual_channel.ChannelSet` per input
+  port (the four neighbour directions plus the local injection port),
+* one outgoing :class:`~repro.interconnect.link.Link` per neighbour
+  direction,
+* a routing algorithm shared by the whole network.
+
+Forwarding is event-driven: a switch scans its input buffers when a message
+arrives, when one of its output links frees up, or when a downstream buffer
+returns a credit.  A head-of-line message that cannot make progress because
+the downstream buffer is full simply waits — there is no dropping and no
+retry traffic — which is exactly the condition under which the speculative
+no-virtual-channel network of Section 4 can deadlock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.interconnect.buffers import FiniteBuffer
+from repro.interconnect.link import Link
+from repro.interconnect.message import NetworkMessage
+from repro.interconnect.topology import Direction, TorusTopology
+from repro.interconnect.virtual_channel import ChannelId, ChannelSet
+from repro.sim.component import Component
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.interconnect.network import TorusNetwork
+
+
+#: Input ports of a switch: the four neighbour directions plus local injection.
+INPUT_PORTS: Tuple[Direction, ...] = (
+    Direction.EAST, Direction.WEST, Direction.NORTH, Direction.SOUTH, Direction.LOCAL)
+
+
+@dataclass
+class BlockedHead:
+    """Describes a head-of-line message that cannot currently advance."""
+
+    message: NetworkMessage
+    input_port: Direction
+    channel: ChannelId
+    #: Switch id and port whose buffer the message is waiting on, or None if
+    #: the message is waiting on a busy link rather than buffer space.
+    waiting_on: Optional[Tuple[int, Direction]]
+
+
+class Switch(Component):
+    """One switch of the 2D torus."""
+
+    EJECTION_LATENCY = 1
+
+    def __init__(self, switch_id: int, sim: Simulator, network: "TorusNetwork",
+                 topology: TorusTopology, *, buffer_capacity: int,
+                 virtual_networks: int, virtual_channels: int, shared_buffers: bool,
+                 stats: Optional[StatsRegistry] = None) -> None:
+        super().__init__(f"switch{switch_id}", sim, stats)
+        self.switch_id = switch_id
+        self.network = network
+        self.topology = topology
+        self.neighbors = topology.neighbors(switch_id)
+        self.input_channels: Dict[Direction, ChannelSet] = {}
+        for port in INPUT_PORTS:
+            if port != Direction.LOCAL and port not in _ports_with_neighbor(self.neighbors):
+                continue
+            self.input_channels[port] = ChannelSet(
+                f"{self.name}.in.{port.value}",
+                virtual_networks=virtual_networks,
+                virtual_channels=virtual_channels,
+                capacity_per_channel=buffer_capacity,
+                shared=shared_buffers,
+            )
+        self.output_links: Dict[Direction, Link] = {}
+        self._scan_scheduled = False
+        self.messages_forwarded = 0
+        self.messages_ejected = 0
+        self.blocked_events = 0
+
+    # ----------------------------------------------------------------- wiring
+    def attach_output_link(self, direction: Direction, link: Link) -> None:
+        """Connect the outgoing link toward ``direction``."""
+        self.output_links[direction] = link
+
+    # -------------------------------------------------------------- injection
+    def inject(self, message: NetworkMessage) -> bool:
+        """Inject a message from the local endpoint.
+
+        Returns False (and injects nothing) if the local input buffer has no
+        space; the network interface retries later.
+        """
+        channels = self.input_channels[Direction.LOCAL]
+        ok, cid = channels.reserve_for(message)
+        if not ok:
+            self.count("injection_blocked")
+            return False
+        channels.buffer(cid).push_reserved(message)
+        message.path.append(self.switch_id)
+        self.count("injected")
+        self.schedule_scan()
+        return True
+
+    def injection_space(self, message: NetworkMessage) -> int:
+        """Free slots available to ``message`` at the local injection port."""
+        return self.input_channels[Direction.LOCAL].free_slots_for(message)
+
+    # --------------------------------------------------------- link reception
+    def receive_from_link(self, message: NetworkMessage, input_port: Direction,
+                          channel: ChannelId, epoch: Optional[int] = None) -> None:
+        """A message arrives from an upstream switch into a reserved slot.
+
+        ``epoch`` is the network flush epoch captured when the transfer
+        started; a transfer that straddles a system recovery is dropped (its
+        reservation was already cleared by the flush).
+        """
+        if epoch is not None and epoch != self.network.flush_epoch:
+            self.count("squashed_in_flight")
+            return
+        self.input_channels[input_port].buffer(channel).push_reserved(message)
+        message.hops += 1
+        message.path.append(self.switch_id)
+        self.schedule_scan()
+
+    # ---------------------------------------------------------------- scanning
+    def schedule_scan(self, delay: int = 0) -> None:
+        """Schedule a forwarding scan if one is not already pending."""
+        if self._scan_scheduled:
+            return
+        self._scan_scheduled = True
+        self.schedule(max(0, delay), self._scan, label=f"{self.name}.scan")
+
+    def _scan(self) -> None:
+        self._scan_scheduled = False
+        progressed = False
+        retry_at: Optional[int] = None
+        for port, channels in self.input_channels.items():
+            for cid, buf in channels.buffers():
+                moved, wake_time = self._try_forward_head(port, cid, buf)
+                progressed = progressed or moved
+                if wake_time is not None:
+                    retry_at = wake_time if retry_at is None else min(retry_at, wake_time)
+        if progressed:
+            # More heads may now be free to move (and space opened upstream).
+            self.schedule_scan(delay=1)
+        elif retry_at is not None and retry_at > self.sim.now:
+            self.schedule_scan(delay=retry_at - self.sim.now)
+
+    def _try_forward_head(self, port: Direction, cid: ChannelId,
+                          buf: FiniteBuffer) -> Tuple[bool, Optional[int]]:
+        """Attempt to move the head message of one input buffer.
+
+        Returns ``(moved, wake_time)``; ``wake_time`` is an absolute cycle at
+        which a retry is worthwhile when the head is blocked on a busy link.
+        """
+        message = buf.peek()
+        if message is None:
+            return False, None
+        direction = self.network.routing.route(
+            self.switch_id, message, self._congestion_for)
+        if direction == Direction.LOCAL:
+            if not self.network.can_eject(self.switch_id):
+                # The local node cannot ingest more messages until its own
+                # outbound queue drains (no-VC design only); the head blocks
+                # and backpressure propagates into the fabric.
+                self.count("ejection_blocked")
+                return False, self.sim.now + 16
+            buf.pop()
+            self.messages_ejected += 1
+            self.count("ejected")
+            self.network.deliver_to_endpoint(self.switch_id, message,
+                                             delay=self.EJECTION_LATENCY)
+            self._credit_released(port)
+            return True, None
+
+        link = self.output_links.get(direction)
+        if link is None:  # degenerate 1-wide torus: treat as local loopback
+            buf.pop()
+            self.network.deliver_to_endpoint(self.switch_id, message,
+                                             delay=self.EJECTION_LATENCY)
+            self._credit_released(port)
+            return True, None
+
+        downstream_id = self.neighbors[direction]
+        downstream = self.network.switch(downstream_id)
+        downstream_port = direction.opposite
+        ok, downstream_cid = downstream.input_channels[downstream_port].reserve_for(message)
+        if not ok:
+            self.blocked_events += 1
+            self.count("blocked_on_buffer")
+            return False, None
+        if link.is_busy:
+            # Keep the reservation? No: release it so other traffic can use
+            # the slot, and retry when the link frees up.
+            downstream.input_channels[downstream_port].buffer(downstream_cid).cancel_reservation()
+            return False, link.next_free_time()
+
+        buf.pop()
+        arrival = link.occupy(message.size_bytes)
+        self.messages_forwarded += 1
+        self.count("forwarded")
+        epoch = self.network.flush_epoch
+        self.sim.schedule_at(
+            arrival,
+            lambda m=message, d=downstream, p=downstream_port, c=downstream_cid, e=epoch:
+                d.receive_from_link(m, p, c, e),
+            label=f"{self.name}->{downstream.name}")
+        self._credit_released(port)
+        return True, None
+
+    # ----------------------------------------------------------------- credits
+    def _credit_released(self, port: Direction) -> None:
+        """A slot freed on input ``port``: wake whoever feeds that port."""
+        if port == Direction.LOCAL:
+            self.network.notify_injection_space(self.switch_id)
+            return
+        upstream_id = self.neighbors.get(port)
+        if upstream_id is not None:
+            self.network.switch(upstream_id).schedule_scan(delay=1)
+
+    # ------------------------------------------------------------- congestion
+    def _congestion_for(self, direction: Direction) -> int:
+        """Congestion metric used by adaptive routing for ``direction``."""
+        downstream_id = self.neighbors.get(direction)
+        if downstream_id is None:
+            return 0
+        downstream = self.network.switch(downstream_id)
+        occupancy = downstream.input_channels[direction.opposite].occupancy()
+        link = self.output_links.get(direction)
+        link_penalty = 0
+        if link is not None and link.is_busy:
+            link_penalty = 1 + (link.busy_until - self.sim.now) // max(1, link.latency_cycles)
+        return occupancy + link_penalty
+
+    # -------------------------------------------------------------- inspection
+    def blocked_heads(self) -> List[BlockedHead]:
+        """Describe every head-of-line message that cannot advance right now.
+
+        Used by the wait-for-graph deadlock detector and by tests; the
+        production system never calls this (it relies on timeouts instead).
+        """
+        blocked: List[BlockedHead] = []
+        for port, channels in self.input_channels.items():
+            for cid, buf in channels.buffers():
+                message = buf.peek()
+                if message is None:
+                    continue
+                direction = self.network.routing.route(
+                    self.switch_id, message, self._congestion_for)
+                if direction == Direction.LOCAL:
+                    if not self.network.can_eject(self.switch_id):
+                        blocked.append(BlockedHead(
+                            message=message, input_port=port, channel=cid,
+                            waiting_on=(self.switch_id, Direction.LOCAL)))
+                    continue
+                downstream_id = self.neighbors.get(direction)
+                if downstream_id is None:
+                    continue
+                downstream = self.network.switch(downstream_id)
+                space = downstream.input_channels[direction.opposite].free_slots_for(message)
+                if space <= 0:
+                    blocked.append(BlockedHead(
+                        message=message, input_port=port, channel=cid,
+                        waiting_on=(downstream_id, direction.opposite)))
+        return blocked
+
+    def queued_messages(self) -> List[NetworkMessage]:
+        """Every message currently buffered at this switch."""
+        queued: List[NetworkMessage] = []
+        for channels in self.input_channels.values():
+            for _cid, buf in channels.buffers():
+                queued.extend(list(buf))
+        return queued
+
+    def drain_all(self) -> List[NetworkMessage]:
+        """Drop every buffered message (system-wide recovery)."""
+        dropped: List[NetworkMessage] = []
+        for channels in self.input_channels.values():
+            dropped.extend(channels.drain())
+        return dropped
+
+
+def _ports_with_neighbor(neighbors: Dict[Direction, int]) -> Tuple[Direction, ...]:
+    return tuple(neighbors.keys())

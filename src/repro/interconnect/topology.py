@@ -1,0 +1,160 @@
+"""2D bidirectional torus topology.
+
+The paper's target system connects its 16 nodes with a two-dimensional torus
+(Section 3.1).  Each node has one switch; switches are connected to their
+four neighbours with wrap-around links.  This module is pure geometry: it
+knows coordinates, neighbours, minimal directions and shortest-path distances
+but nothing about buffering or timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Tuple
+
+
+class Direction(str, Enum):
+    """Output port directions at a torus switch."""
+
+    EAST = "east"
+    WEST = "west"
+    NORTH = "north"
+    SOUTH = "south"
+    LOCAL = "local"
+
+    @property
+    def opposite(self) -> "Direction":
+        return _OPPOSITE[self]
+
+
+_OPPOSITE = {
+    Direction.EAST: Direction.WEST,
+    Direction.WEST: Direction.EAST,
+    Direction.NORTH: Direction.SOUTH,
+    Direction.SOUTH: Direction.NORTH,
+    Direction.LOCAL: Direction.LOCAL,
+}
+
+
+@dataclass(frozen=True)
+class Coordinate:
+    """(x, y) position of a switch on the torus."""
+
+    x: int
+    y: int
+
+
+class TorusTopology:
+    """Geometry of a ``width`` x ``height`` bidirectional torus."""
+
+    def __init__(self, width: int, height: int) -> None:
+        if width < 1 or height < 1:
+            raise ValueError("torus dimensions must be >= 1")
+        self.width = width
+        self.height = height
+
+    # ------------------------------------------------------------ identifiers
+    @property
+    def num_switches(self) -> int:
+        return self.width * self.height
+
+    def coordinate(self, switch_id: int) -> Coordinate:
+        """Map a switch id to its (x, y) coordinate."""
+        self._check(switch_id)
+        return Coordinate(switch_id % self.width, switch_id // self.width)
+
+    def switch_id(self, x: int, y: int) -> int:
+        """Map an (x, y) coordinate (taken modulo the torus) to a switch id."""
+        return (y % self.height) * self.width + (x % self.width)
+
+    def _check(self, switch_id: int) -> None:
+        if not 0 <= switch_id < self.num_switches:
+            raise ValueError(f"switch id {switch_id} out of range")
+
+    # -------------------------------------------------------------- neighbours
+    def neighbor(self, switch_id: int, direction: Direction) -> int:
+        """The switch one hop away in ``direction`` (with wrap-around)."""
+        self._check(switch_id)
+        coord = self.coordinate(switch_id)
+        if direction == Direction.EAST:
+            return self.switch_id(coord.x + 1, coord.y)
+        if direction == Direction.WEST:
+            return self.switch_id(coord.x - 1, coord.y)
+        if direction == Direction.NORTH:
+            return self.switch_id(coord.x, coord.y - 1)
+        if direction == Direction.SOUTH:
+            return self.switch_id(coord.x, coord.y + 1)
+        return switch_id
+
+    def neighbors(self, switch_id: int) -> Dict[Direction, int]:
+        """All distinct non-local neighbours of a switch."""
+        result: Dict[Direction, int] = {}
+        for direction in (Direction.EAST, Direction.WEST, Direction.NORTH, Direction.SOUTH):
+            other = self.neighbor(switch_id, direction)
+            if other != switch_id:
+                result[direction] = other
+        return result
+
+    # ---------------------------------------------------------------- distances
+    def _axis_offsets(self, src: int, dst: int) -> Tuple[int, int]:
+        """Signed minimal offsets (dx, dy) from src to dst along the torus."""
+        a, b = self.coordinate(src), self.coordinate(dst)
+        dx = self._wrap_offset(b.x - a.x, self.width)
+        dy = self._wrap_offset(b.y - a.y, self.height)
+        return dx, dy
+
+    @staticmethod
+    def _wrap_offset(delta: int, size: int) -> int:
+        delta %= size
+        if delta > size // 2:
+            delta -= size
+        return delta
+
+    def distance(self, src: int, dst: int) -> int:
+        """Minimal hop count between two switches."""
+        dx, dy = self._axis_offsets(src, dst)
+        return abs(dx) + abs(dy)
+
+    def minimal_directions(self, src: int, dst: int) -> List[Direction]:
+        """Directions that lie on *some* minimal path from src to dst.
+
+        On a torus a minimal route can make progress in the X dimension, the
+        Y dimension, or either; adaptive routing chooses among these,
+        dimension-order routing always takes X first.
+        """
+        if src == dst:
+            return [Direction.LOCAL]
+        dx, dy = self._axis_offsets(src, dst)
+        options: List[Direction] = []
+        if dx > 0:
+            options.append(Direction.EAST)
+        elif dx < 0:
+            options.append(Direction.WEST)
+        if dy > 0:
+            options.append(Direction.SOUTH)
+        elif dy < 0:
+            options.append(Direction.NORTH)
+        return options
+
+    def dimension_order_direction(self, src: int, dst: int) -> Direction:
+        """The unique X-then-Y (dimension order) next hop direction."""
+        if src == dst:
+            return Direction.LOCAL
+        dx, dy = self._axis_offsets(src, dst)
+        if dx > 0:
+            return Direction.EAST
+        if dx < 0:
+            return Direction.WEST
+        if dy > 0:
+            return Direction.SOUTH
+        return Direction.NORTH
+
+    def all_pairs_mean_distance(self) -> float:
+        """Mean minimal distance over all ordered pairs (used in reports)."""
+        n = self.num_switches
+        if n <= 1:
+            return 0.0
+        total = sum(self.distance(a, b)
+                    for a in range(n) for b in range(n) if a != b)
+        return total / (n * (n - 1))

@@ -1,0 +1,13 @@
+"""Processor models.
+
+The paper uses a simple in-order, blocking, 1-IPC processor model on purpose
+(Section 5.1): the evaluation depends on the memory-system behaviour, not on
+core microarchitecture.  :class:`repro.processor.core.BlockingProcessor`
+reproduces that model, including its role as a SafetyNet checkpoint
+participant (its execution position is what recovery rolls back).
+"""
+
+from repro.processor.core import BlockingProcessor, ProcessorSnapshot
+from repro.processor.l1 import L1FilterCache
+
+__all__ = ["BlockingProcessor", "ProcessorSnapshot", "L1FilterCache"]

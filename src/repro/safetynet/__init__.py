@@ -1,0 +1,28 @@
+"""SafetyNet: system-wide checkpoint/recovery (Sorin et al., ISCA 2002).
+
+The paper leverages SafetyNet as the recovery mechanism behind all three
+speculative designs.  This package is a functional + timing model of it:
+
+* :mod:`repro.safetynet.log` — per-node checkpoint log buffers that record
+  incremental *undo* information (old values) for every change to cache,
+  directory and memory state;
+* :mod:`repro.safetynet.checkpoint` — logical checkpoints taken every N
+  cycles (directory systems) or every N coherence requests (snooping
+  systems), carrying per-processor execution snapshots;
+* :mod:`repro.safetynet.manager` — the :class:`SafetyNet` coordinator that
+  creates/commits checkpoints, performs system-wide recovery (undoing the
+  log, squashing in-flight protocol/network state, rolling processors back)
+  and accounts for the cost of each recovery.
+"""
+
+from repro.safetynet.log import CheckpointLogBuffer, UndoRecord
+from repro.safetynet.checkpoint import Checkpoint, CheckpointParticipant
+from repro.safetynet.manager import SafetyNet
+
+__all__ = [
+    "CheckpointLogBuffer",
+    "UndoRecord",
+    "Checkpoint",
+    "CheckpointParticipant",
+    "SafetyNet",
+]

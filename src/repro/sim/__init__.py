@@ -1,0 +1,43 @@
+"""Discrete-event simulation substrate.
+
+This package provides the simulation kernel used by every other subsystem of
+the reproduction: an event-driven scheduler (:mod:`repro.sim.engine`), the
+component/port abstractions (:mod:`repro.sim.component`), statistics
+collection (:mod:`repro.sim.stats`), deterministic random-number helpers
+(:mod:`repro.sim.rng`) and the system configuration dataclasses that mirror
+Table 2 of the paper (:mod:`repro.sim.config`).
+"""
+
+from repro.sim.engine import Event, EventQueue, Simulator
+from repro.sim.component import Component, Port
+from repro.sim.stats import Counter, Histogram, IntervalSampler, StatsRegistry
+from repro.sim.config import (
+    CacheConfig,
+    CheckpointConfig,
+    InterconnectConfig,
+    ProcessorConfig,
+    SpeculationConfig,
+    SystemConfig,
+    WorkloadConfig,
+)
+from repro.sim.rng import DeterministicRng
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "Component",
+    "Port",
+    "Counter",
+    "Histogram",
+    "IntervalSampler",
+    "StatsRegistry",
+    "CacheConfig",
+    "CheckpointConfig",
+    "InterconnectConfig",
+    "ProcessorConfig",
+    "SpeculationConfig",
+    "SystemConfig",
+    "WorkloadConfig",
+    "DeterministicRng",
+]

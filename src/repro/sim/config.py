@@ -1,0 +1,282 @@
+"""System configuration (Table 2 of the paper, plus reproduction knobs).
+
+The paper's target system is a 16-node shared-memory multiprocessor:
+
+==============================  =============================================
+L1 cache (I and D)              128 KB, 4-way set associative
+L2 cache                        4 MB, 4-way set associative
+Memory                          2 GB, 64-byte blocks
+Miss from memory                180 ns (uncontended, 2-hop)
+Interconnect link bandwidth     400 MB/s to 3.2 GB/s
+Checkpoint log buffer           512 KB total, 72-byte entries
+Checkpoint interval             100,000 cycles (directory), 3,000 requests
+                                (snooping)
+Register checkpoint latency     100 cycles
+==============================  =============================================
+
+Reproduction-specific knobs (documented in DESIGN.md):
+
+* ``cycles_per_second`` maps simulated cycles onto the "seconds" used by the
+  recovery-rate experiments; the paper's nominal value is 4e9 (a 4 GHz core),
+  the benchmark default is 1e6 so sweeps finish in laptop time.  Performance
+  *ratios* — which is what Figure 4 plots — are preserved under this scaling.
+* Cache/memory sizes may be scaled down for tests; the defaults below follow
+  Table 2 and the scaled presets are provided by :func:`SystemConfig.small`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Dict, Optional
+
+
+class RoutingPolicy(str, Enum):
+    """Interconnect routing policy."""
+
+    STATIC = "static"          #: deterministic dimension-order routing
+    ADAPTIVE = "adaptive"      #: minimal adaptive routing (queue-length based)
+
+
+class ProtocolKind(str, Enum):
+    """Which coherence protocol the system is built with."""
+
+    DIRECTORY = "directory"
+    SNOOPING = "snooping"
+
+
+class ProtocolVariant(str, Enum):
+    """Full (corner cases handled) vs. speculative (corner cases detected)."""
+
+    FULL = "full"
+    SPECULATIVE = "speculative"
+
+
+@dataclass
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    associativity: int
+    block_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.associativity <= 0 or self.block_bytes <= 0:
+            raise ValueError("cache parameters must be positive")
+        if self.size_bytes % (self.associativity * self.block_bytes):
+            raise ValueError(
+                "cache size must be a multiple of associativity * block size")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.block_bytes)
+
+    @property
+    def num_blocks(self) -> int:
+        return self.size_bytes // self.block_bytes
+
+
+@dataclass
+class ProcessorConfig:
+    """Simple blocking, in-order processor model (Section 5.1)."""
+
+    frequency_hz: float = 4.0e9
+    instructions_per_cycle: float = 1.0
+    #: Non-memory instructions executed between two memory references; used
+    #: to convert a memory-reference stream into elapsed "compute" cycles.
+    mean_instructions_between_refs: float = 3.0
+    l1_hit_cycles: int = 1
+    l2_hit_cycles: int = 12
+
+
+@dataclass
+class InterconnectConfig:
+    """2D torus interconnect parameters."""
+
+    #: Torus dimensions; 4x4 gives the 16-node target system.
+    mesh_width: int = 4
+    mesh_height: int = 4
+    link_bandwidth_bytes_per_sec: float = 400e6
+    link_latency_cycles: int = 8
+    #: Per-input-port buffer capacity in messages (the buffer-sweep knob).
+    switch_buffer_capacity: int = 16
+    endpoint_buffer_capacity: int = 64
+    #: Number of virtual networks (message classes); the directory protocol
+    #: uses four: Request, ForwardedRequest, Response, FinalAck.
+    virtual_networks: int = 4
+    #: Virtual channels per virtual network; 2 suffice for static routing on
+    #: a torus, adaptive routing needs one extra escape channel.  0 means the
+    #: speculative no-VC design.
+    virtual_channels_per_network: int = 2
+    routing: RoutingPolicy = RoutingPolicy.STATIC
+    #: Control/coherence message size and data message size in bytes.
+    control_message_bytes: int = 8
+    data_message_bytes: int = 72
+    #: When True the network is the speculatively simplified design of
+    #: Section 4: no virtual channels/networks, all classes share buffers.
+    speculative_no_vc: bool = False
+    #: In the no-VC design, a network interface stops ingesting messages
+    #: while its own outbound queue is this deep (it has nowhere to put the
+    #: replies the ingested messages would generate).  This is the coupling
+    #: that makes endpoint/switch deadlock reachable when buffering is
+    #: insufficient; virtual networks remove it by construction, so the
+    #: limit is ignored when virtual channels are enabled.
+    nic_injection_limit: int = 8
+
+    def link_cycles_per_byte(self, frequency_hz: float) -> float:
+        """Cycles needed to serialise one byte on a link."""
+        return frequency_hz / self.link_bandwidth_bytes_per_sec
+
+    def serialization_cycles(self, message_bytes: int, frequency_hz: float) -> int:
+        """Cycles to push ``message_bytes`` through one link."""
+        return max(1, int(round(message_bytes * self.link_cycles_per_byte(frequency_hz))))
+
+
+@dataclass
+class CheckpointConfig:
+    """SafetyNet parameters (Table 2)."""
+
+    log_buffer_bytes: int = 512 * 1024
+    log_entry_bytes: int = 72
+    #: Checkpoint interval for the directory system, in cycles.
+    directory_interval_cycles: int = 100_000
+    #: Checkpoint interval for the snooping system, in requests.
+    snooping_interval_requests: int = 3_000
+    register_checkpoint_latency_cycles: int = 100
+    #: Fixed latency of a system-wide recovery, on top of re-executing the
+    #: work lost since the recovery point.
+    recovery_latency_cycles: int = 20_000
+    #: Number of checkpoints kept outstanding (un-committed).
+    outstanding_checkpoints: int = 3
+
+    @property
+    def log_entries(self) -> int:
+        return self.log_buffer_bytes // self.log_entry_bytes
+
+
+@dataclass
+class SpeculationConfig:
+    """Knobs of the speculation-for-simplicity framework."""
+
+    #: Speculate on point-to-point ordering in the directory protocol (S1).
+    directory_p2p_speculation: bool = True
+    #: Leave the snooping corner case unhandled and detect it instead (S2).
+    snooping_corner_case_speculation: bool = True
+    #: Remove virtual channels and recover from deadlock (S3).
+    interconnect_no_vc_speculation: bool = False
+    #: Transaction timeout for deadlock detection, in checkpoint intervals.
+    timeout_checkpoint_intervals: int = 3
+    #: Forward progress: cycles for which adaptive routing stays disabled
+    #: after a recovery caused by a reordering mis-speculation.
+    adaptive_routing_disable_cycles: int = 200_000
+    #: Forward progress: maximum outstanding coherence transactions while in
+    #: slow-start mode.
+    slow_start_max_outstanding: int = 1
+    #: Cycles spent in slow-start after a recovery before returning to full
+    #: concurrency.
+    slow_start_cycles: int = 100_000
+
+
+@dataclass
+class WorkloadConfig:
+    """Parameters of a synthetic workload run."""
+
+    name: str = "jbb"
+    #: Memory references issued per processor for one measured run.
+    references_per_processor: int = 20_000
+    #: Root seed for the deterministic RNG tree.
+    seed: int = 1
+    #: Number of perturbed runs per design point (paper uses several).
+    runs: int = 1
+    #: Std-dev (in cycles) of the pseudo-random memory-latency perturbation.
+    latency_jitter_cycles: int = 2
+
+
+@dataclass
+class SystemConfig:
+    """Complete configuration of one simulated target system."""
+
+    num_processors: int = 16
+    protocol: ProtocolKind = ProtocolKind.DIRECTORY
+    variant: ProtocolVariant = ProtocolVariant.SPECULATIVE
+    l1: CacheConfig = field(default_factory=lambda: CacheConfig(128 * 1024, 4))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(4 * 1024 * 1024, 4))
+    memory_bytes: int = 2 * 1024 ** 3
+    block_bytes: int = 64
+    memory_latency_cycles: int = 180 * 4  # 180 ns at 4 GHz
+    processor: ProcessorConfig = field(default_factory=ProcessorConfig)
+    interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
+    checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+    speculation: SpeculationConfig = field(default_factory=SpeculationConfig)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    #: Simulated cycles per "second" for recovery-rate style experiments.
+    cycles_per_second: float = 4.0e9
+
+    def __post_init__(self) -> None:
+        if self.num_processors <= 0:
+            raise ValueError("num_processors must be positive")
+        if self.block_bytes != self.l1.block_bytes or self.block_bytes != self.l2.block_bytes:
+            raise ValueError("block size must match across memory and caches")
+        grid = self.interconnect.mesh_width * self.interconnect.mesh_height
+        if grid < self.num_processors:
+            raise ValueError(
+                f"torus {self.interconnect.mesh_width}x{self.interconnect.mesh_height} "
+                f"cannot host {self.num_processors} nodes")
+
+    # ------------------------------------------------------------------ presets
+    @classmethod
+    def paper_defaults(cls) -> "SystemConfig":
+        """The Table 2 target system."""
+        return cls()
+
+    @classmethod
+    def small(cls, num_processors: int = 4, references: int = 2_000,
+              seed: int = 1) -> "SystemConfig":
+        """A scaled-down system for unit tests and quick examples."""
+        width = 2 if num_processors <= 4 else 4
+        height = max(1, (num_processors + width - 1) // width)
+        cfg = cls(
+            num_processors=num_processors,
+            l1=CacheConfig(8 * 1024, 2),
+            l2=CacheConfig(64 * 1024, 4),
+            memory_bytes=16 * 1024 * 1024,
+            memory_latency_cycles=100,
+            interconnect=InterconnectConfig(
+                mesh_width=width, mesh_height=height,
+                link_latency_cycles=4,
+                switch_buffer_capacity=16,
+            ),
+            checkpoint=CheckpointConfig(
+                directory_interval_cycles=5_000,
+                snooping_interval_requests=200,
+                recovery_latency_cycles=2_000,
+            ),
+            workload=WorkloadConfig(references_per_processor=references, seed=seed),
+            cycles_per_second=1.0e6,
+        )
+        return cfg
+
+    # --------------------------------------------------------------- mutation
+    def with_updates(self, **kwargs) -> "SystemConfig":
+        """Return a copy with top-level fields replaced."""
+        return replace(self, **kwargs)
+
+    def table2_rows(self) -> Dict[str, str]:
+        """Render this configuration as the rows of Table 2."""
+        ic = self.interconnect
+        cp = self.checkpoint
+        return {
+            "L1 Cache (I and D)": f"{self.l1.size_bytes // 1024} KB, "
+                                   f"{self.l1.associativity}-way set associative",
+            "L2 Cache": f"{self.l2.size_bytes // (1024 * 1024)} MB, "
+                        f"{self.l2.associativity}-way set-associative",
+            "Memory": f"{self.memory_bytes // 1024 ** 3} GB, {self.block_bytes} byte blocks",
+            "Miss From Memory": f"{self.memory_latency_cycles} cycles (uncontended, 2-hop)",
+            "Interconnection Networks": "link bandwidth = "
+                                         f"{ic.link_bandwidth_bytes_per_sec / 1e6:.0f} MB/sec",
+            "Checkpoint Log Buffer": f"{cp.log_buffer_bytes // 1024} kbytes total, "
+                                      f"{cp.log_entry_bytes} byte entries",
+            "Checkpoint Interval": f"{cp.directory_interval_cycles} cycles (directory), "
+                                    f"{cp.snooping_interval_requests} requests (snooping)",
+            "Register Checkpointing Latency": f"{cp.register_checkpoint_latency_cycles} cycles",
+        }

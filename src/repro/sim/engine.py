@@ -1,0 +1,220 @@
+"""Event-driven simulation kernel.
+
+The kernel is a classic calendar-of-events scheduler built on ``heapq``.  All
+timing in the reproduction is expressed in *cycles* of the (nominally 4 GHz)
+system clock; the mapping from cycles to wall-clock "seconds" used by the
+paper's recovery-rate experiments is configurable (see
+:class:`repro.sim.config.SystemConfig.cycles_per_second`).
+
+Design notes
+------------
+* Events are ordered by ``(time, priority, sequence)``.  The sequence number
+  makes ordering of same-cycle events deterministic and FIFO with respect to
+  scheduling order, which keeps every simulation run reproducible for a fixed
+  seed.
+* The scheduler never uses wall-clock time or global randomness; components
+  that need randomness draw from :class:`repro.sim.rng.DeterministicRng`
+  streams handed to them at construction time.
+* Callbacks are plain callables.  A callback may schedule further events and
+  may cancel events it owns.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for fatal inconsistencies inside the simulation kernel."""
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled event.
+
+    Attributes
+    ----------
+    time:
+        Absolute cycle at which the event fires.
+    priority:
+        Tie-breaker within a cycle; lower fires first.  The kernel reserves
+        no priorities — subsystems pick their own conventions.
+    seq:
+        Monotonic sequence number assigned by the queue; guarantees FIFO
+        ordering among events with equal ``(time, priority)``.
+    callback:
+        Zero-argument callable invoked when the event fires.
+    label:
+        Optional human-readable tag (used in traces and error messages).
+    cancelled:
+        Cancelled events stay in the heap but are skipped when popped.
+    """
+
+    time: int
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be dropped when reached."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` objects keyed by time."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(self, time: int, callback: Callable[[], None], *,
+             priority: int = 0, label: str = "") -> Event:
+        """Schedule ``callback`` at absolute cycle ``time`` and return the event."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time}")
+        event = Event(time=time, priority=priority, seq=next(self._seq),
+                      callback=callback, label=label)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the next non-cancelled event, or ``None`` if the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        self._live = 0
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Return the firing time of the next live event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        if not event.cancelled:
+            event.cancelled = True
+            self._live -= 1
+
+    def drain(self) -> Iterator[Event]:
+        """Yield and remove every remaining live event (used at teardown)."""
+        while True:
+            event = self.pop()
+            if event is None:
+                return
+            yield event
+
+
+class Simulator:
+    """The simulation clock plus the event queue.
+
+    Every component holds a reference to one :class:`Simulator` and uses
+    :meth:`schedule` / :meth:`schedule_at` to advance its own state machines.
+    """
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self._now = 0
+        self._running = False
+        self._stop_requested = False
+        self.events_executed = 0
+        self._quiesce_hooks: List[Callable[[], None]] = []
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    def schedule(self, delay: int, callback: Callable[[], None], *,
+                 priority: int = 0, label: str = "") -> Event:
+        """Schedule ``callback`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.queue.push(self._now + delay, callback,
+                               priority=priority, label=label)
+
+    def schedule_at(self, time: int, callback: Callable[[], None], *,
+                    priority: int = 0, label: str = "") -> Event:
+        """Schedule ``callback`` at an absolute cycle (must not be in the past)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past (now={self._now}, time={time})")
+        return self.queue.push(time, callback, priority=priority, label=label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event."""
+        self.queue.cancel(event)
+
+    def add_quiesce_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callable invoked whenever the event queue drains.
+
+        Workload drivers use this to inject the next batch of work so that
+        long simulations do not need every future event pre-scheduled.
+        """
+        self._quiesce_hooks.append(hook)
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stop_requested = True
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` cycles, or ``max_events``.
+
+        Returns the simulation time at which execution stopped.
+        """
+        self._running = True
+        self._stop_requested = False
+        executed = 0
+        try:
+            while True:
+                if self._stop_requested:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    made_progress = False
+                    for hook in self._quiesce_hooks:
+                        hook()
+                    if self.queue.peek_time() is not None:
+                        made_progress = True
+                    if not made_progress:
+                        break
+                    continue
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                event = self.queue.pop()
+                assert event is not None
+                self._now = event.time
+                event.callback()
+                executed += 1
+                self.events_executed += 1
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> int:
+        """Run until the event queue is empty (ignoring quiesce hooks)."""
+        saved = self._quiesce_hooks
+        self._quiesce_hooks = []
+        try:
+            return self.run(max_events=max_events)
+        finally:
+            self._quiesce_hooks = saved

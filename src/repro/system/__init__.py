@@ -1,0 +1,15 @@
+"""System assembly: nodes, multiprocessors and the run harness.
+
+:func:`repro.system.builder.build_system` turns a
+:class:`repro.sim.config.SystemConfig` into a runnable multiprocessor — a
+directory system over the torus interconnect or a broadcast snooping system —
+with SafetyNet, the speculation framework and the workload-driven processors
+already wired together.
+"""
+
+from repro.system.results import RunResult
+from repro.system.directory_system import DirectorySystem
+from repro.system.snooping_system import SnoopingSystem
+from repro.system.builder import build_system
+
+__all__ = ["RunResult", "DirectorySystem", "SnoopingSystem", "build_system"]

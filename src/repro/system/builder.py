@@ -1,0 +1,26 @@
+"""System factory.
+
+:func:`build_system` constructs the multiprocessor described by a
+:class:`repro.sim.config.SystemConfig` — a directory system on the torus or
+a broadcast snooping system — so experiments and examples can stay
+protocol-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.sim.config import ProtocolKind, SystemConfig
+from repro.system.directory_system import DirectorySystem
+from repro.system.snooping_system import SnoopingSystem
+
+AnySystem = Union[DirectorySystem, SnoopingSystem]
+
+
+def build_system(config: SystemConfig, *, label: Optional[str] = None) -> AnySystem:
+    """Build the system the configuration asks for."""
+    if config.protocol == ProtocolKind.DIRECTORY:
+        return DirectorySystem(config, label=label)
+    if config.protocol == ProtocolKind.SNOOPING:
+        return SnoopingSystem(config, label=label)
+    raise ValueError(f"unknown protocol kind {config.protocol!r}")

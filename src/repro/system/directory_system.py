@@ -1,0 +1,331 @@
+"""The 16-node directory-protocol multiprocessor.
+
+This is the target system of Sections 3.1, 4 and 5: a MOSI directory
+protocol over a 2D torus, with SafetyNet recovery and the
+speculation-for-simplicity framework wired in.  Depending on the
+configuration it realises several of the paper's design points:
+
+* ``variant=FULL`` + virtual channels + static routing — the conventional,
+  fully designed baseline;
+* ``variant=SPECULATIVE`` + adaptive routing — the Section 3.1 design that
+  speculates on point-to-point ordering;
+* ``interconnect.speculative_no_vc=True`` — the Section 4 design that
+  removes virtual-channel deadlock avoidance and recovers from deadlocks
+  detected by transaction timeouts;
+* with a :class:`repro.core.detection.RecoveryRateInjector` attached — the
+  Figure 4 stress test.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.coherence.cache import CacheArray
+from repro.coherence.common import home_node
+from repro.coherence.directory.cache_controller import DirectoryCacheController
+from repro.coherence.directory.directory_controller import DirectoryController
+from repro.coherence.directory.states import CacheState, DirectoryState
+from repro.core.detection import RecoveryRateInjector, transaction_timeout_cycles
+from repro.core.events import SpeculationKind
+from repro.core.forward_progress import (
+    CombinedPolicy,
+    DisableAdaptiveRoutingPolicy,
+    NoOpPolicy,
+    SlowStartGate,
+    SlowStartPolicy,
+)
+from repro.core.framework import SpeculationFramework
+from repro.interconnect.message import MessageClass, VirtualNetwork
+from repro.interconnect.network import TorusNetwork, make_message
+from repro.processor.core import BlockingProcessor
+from repro.processor.l1 import L1FilterCache
+from repro.safetynet.manager import SafetyNet
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import DeterministicRng
+from repro.sim.stats import StatsRegistry
+from repro.system.node import DirectoryNode
+from repro.system.results import RunResult
+from repro.workloads import make_workload
+from repro.workloads.base import SyntheticWorkload
+
+
+class DirectorySystem:
+    """A runnable directory-protocol multiprocessor."""
+
+    def __init__(self, config: SystemConfig, *, label: Optional[str] = None) -> None:
+        self.config = config
+        self.label = label if label is not None else self._default_label(config)
+        self.sim = Simulator()
+        self.stats = StatsRegistry()
+        self.rng = DeterministicRng(config.workload.seed)
+        self.network = TorusNetwork(
+            self.sim, config.interconnect,
+            frequency_hz=config.processor.frequency_hz,
+            rng=self.rng.spawn("network"), stats=self.stats)
+        self.safetynet = SafetyNet(
+            self.sim, config.checkpoint, num_nodes=config.num_processors,
+            interval_cycles=config.checkpoint.directory_interval_cycles,
+            stats=self.stats)
+        self.framework = SpeculationFramework(self.sim, self.safetynet, stats=self.stats)
+        self.slow_start_gate = SlowStartGate(self.sim)
+        self.nodes: List[DirectoryNode] = []
+        self.injector: Optional[RecoveryRateInjector] = None
+        self._finished_processors = 0
+        self._build_nodes()
+        self._configure_policies()
+
+    # ------------------------------------------------------------------- build
+    @staticmethod
+    def _default_label(config: SystemConfig) -> str:
+        parts = [config.variant.value, config.interconnect.routing.value]
+        if config.interconnect.speculative_no_vc:
+            parts.append("no-vc")
+        return "-".join(parts)
+
+    def _home(self, address: int) -> int:
+        return home_node(address, self.config.num_processors, self.config.block_bytes)
+
+    def _make_send(self, src: int) -> Callable:
+        def send(dst: int, msg_class: MessageClass, address: int, payload) -> None:
+            message = make_message(src, dst, msg_class, address=address,
+                                   payload=payload, config=self.config.interconnect)
+            self.network.send(message)
+        return send
+
+    def _build_nodes(self) -> None:
+        cfg = self.config
+        timeout = transaction_timeout_cycles(cfg.checkpoint, cfg.speculation)
+        for node_id in range(cfg.num_processors):
+            l2_array: CacheArray = CacheArray(f"l2.{node_id}", cfg.l2, CacheState.INVALID)
+            send = self._make_send(node_id)
+            cache_ctrl = DirectoryCacheController(
+                node_id, self.sim, cfg, l2_array, send, self._home,
+                misspeculation_reporter=self.framework.report, stats=self.stats)
+            cache_ctrl.may_issue = self.slow_start_gate.may_issue
+            cache_ctrl.on_retire = self.slow_start_gate.retired
+            cache_ctrl.timeout_cycles = timeout
+            directory = DirectoryController(node_id, self.sim, cfg, send, stats=self.stats)
+            l1 = L1FilterCache(f"l1.{node_id}", cfg.l1)
+            processor = BlockingProcessor(
+                node_id, self.sim, cfg, [], l1=l1,
+                rng=self.rng.spawn(f"proc{node_id}"), stats=self.stats)
+            processor.l2_access = cache_ctrl.access
+            processor.l2_state_of = l2_array.get_state
+            processor.set_store_value_hook(
+                lambda addr, val, arr=l2_array: (
+                    arr.set_value(addr, val) if arr.contains(addr) else None))
+
+            # SafetyNet wiring: undo logging + restore + squash + rollback.
+            l2_array.set_observer(self.safetynet.register_store(
+                f"l2.{node_id}", node_id, l2_array.restore_field))
+            directory.set_observer(self.safetynet.register_store(
+                f"dir.{node_id}", node_id, directory.restore_entry))
+            self.safetynet.register_participant(processor)
+            self.safetynet.add_squash_hook(cache_ctrl.squash_transient_state)
+            self.safetynet.add_squash_hook(directory.squash_transient_state)
+
+            # Network attachment: dispatch by message class.
+            self.network.attach(node_id, self._make_receiver(cache_ctrl, directory))
+            self.nodes.append(DirectoryNode(
+                node_id=node_id, processor=processor, l1=l1, l2_array=l2_array,
+                cache_controller=cache_ctrl, directory=directory))
+
+        self.safetynet.add_squash_hook(self.network.flush)
+        self.safetynet.add_squash_hook(
+            lambda: self.slow_start_gate.reset_outstanding())
+        # Runs after the undo log has been replayed (hooks run in order):
+        # reconcile directory entries with the restored cache states so the
+        # recovery point is a protocol-consistent cut (see method docstring).
+        self.safetynet.add_squash_hook(self._reconcile_after_recovery)
+
+    @staticmethod
+    def _make_receiver(cache_ctrl: DirectoryCacheController,
+                       directory: DirectoryController) -> Callable:
+        def receive(message) -> None:
+            vnet = message.virtual_network
+            if vnet in (VirtualNetwork.REQUEST, VirtualNetwork.FINAL_ACK):
+                directory.handle_message(message)
+            else:
+                cache_ctrl.handle_message(message)
+        return receive
+
+    def _configure_policies(self) -> None:
+        spec = self.config.speculation
+        self.framework.set_policy(
+            SpeculationKind.DIRECTORY_P2P_ORDER,
+            DisableAdaptiveRoutingPolicy(
+                self.network.disable_adaptive_routing,
+                spec.adaptive_routing_disable_cycles))
+        self.framework.set_policy(
+            SpeculationKind.INTERCONNECT_DEADLOCK,
+            CombinedPolicy(
+                self.sim,
+                SlowStartPolicy(self.slow_start_gate,
+                                max_outstanding=spec.slow_start_max_outstanding,
+                                duration_cycles=spec.slow_start_cycles),
+                free_retries=1,
+                window_cycles=max(spec.slow_start_cycles,
+                                  4 * self.config.checkpoint.directory_interval_cycles)))
+        self.framework.set_policy(SpeculationKind.INJECTED, NoOpPolicy())
+
+    # ----------------------------------------------------------------- injector
+    def attach_recovery_injector(self, rate_per_second: float) -> RecoveryRateInjector:
+        """Attach the Figure 4 stress-test injector (call before :meth:`run`)."""
+        self.injector = RecoveryRateInjector(
+            self.sim, self.framework.report,
+            rate_per_second=rate_per_second,
+            cycles_per_second=self.config.cycles_per_second)
+        return self.injector
+
+    # --------------------------------------------------------------------- run
+    def load_workload(self, workload: Optional[SyntheticWorkload] = None) -> None:
+        """Generate and install per-processor reference streams."""
+        cfg = self.config
+        if workload is None:
+            workload = make_workload(cfg.workload.name,
+                                     num_processors=cfg.num_processors,
+                                     block_bytes=cfg.block_bytes,
+                                     seed=cfg.workload.seed)
+        streams = workload.generate_all(cfg.workload.references_per_processor)
+        for node in self.nodes:
+            node.processor.references = list(streams[node.node_id])
+
+    def run(self, *, workload: Optional[SyntheticWorkload] = None,
+            max_cycles: Optional[int] = None) -> RunResult:
+        """Run the workload to completion and collect results."""
+        self.load_workload(workload)
+        self.safetynet.start()
+        if self.injector is not None:
+            self.injector.start()
+        self._finished_processors = 0
+
+        def on_finished(_node: int) -> None:
+            self._finished_processors += 1
+            if all(n.processor.finished_at is not None for n in self.nodes):
+                self.sim.stop()
+
+        for node in self.nodes:
+            node.processor.start(on_finished)
+
+        limit = max_cycles if max_cycles is not None else self._default_max_cycles()
+        self.sim.run(until=limit)
+        finished = all(n.processor.finished_at is not None for n in self.nodes)
+        return self._collect_results(finished)
+
+    def _default_max_cycles(self) -> int:
+        cfg = self.config
+        per_ref_bound = 4 * (cfg.memory_latency_cycles
+                             + 8 * cfg.interconnect.link_latency_cycles
+                             + 100)
+        return max(1_000_000, cfg.workload.references_per_processor * per_ref_bound)
+
+    # ----------------------------------------------------------------- results
+    def _collect_results(self, finished: bool) -> RunResult:
+        runtime = max((n.processor.finished_at or self.sim.now) for n in self.nodes)
+        refs = sum(n.processor.references_completed for n in self.nodes)
+        instructions = sum(n.processor.retired_instructions for n in self.nodes)
+        l2_hits = sum(n.l2_array.hits for n in self.nodes)
+        l2_misses = sum(n.l2_array.misses for n in self.nodes)
+        ordering = self.network.ordering
+        reorder_by_vnet = {vn.name: ordering.reorder_rate(vn) for vn in VirtualNetwork}
+        fs = self.framework.framework_stats
+        return RunResult(
+            workload=self.config.workload.name,
+            config_label=self.label,
+            runtime_cycles=runtime,
+            references_completed=refs,
+            instructions_retired=instructions,
+            finished=finished,
+            detections=fs.detections,
+            recoveries=fs.recoveries,
+            recoveries_by_kind={k.value: v for k, v in fs.recoveries_by_kind.items()},
+            recovery_records=list(self.framework.records),
+            messages_delivered=self.network.messages_delivered,
+            mean_message_latency=self.network.mean_message_latency(),
+            mean_link_utilization=self.network.mean_link_utilization(runtime),
+            peak_link_utilization=self.network.peak_link_utilization(runtime),
+            reorder_rate_overall=ordering.reorder_rate(),
+            reorder_rate_by_vnet=reorder_by_vnet,
+            l2_misses=l2_misses,
+            l2_hits=l2_hits,
+            checkpoints_taken=self.safetynet.checkpoints_taken,
+            peak_log_entries=self.safetynet.peak_log_occupancy_entries(),
+            counters=self.stats.counters(),
+        )
+
+    # ---------------------------------------------------------------- recovery
+    def _reconcile_after_recovery(self) -> None:
+        """Make directory entries consistent with the restored cache states.
+
+        SafetyNet's hardware implementation coordinates checkpoints in
+        logical time so that every checkpoint is a *consistent cut* of the
+        protocol state.  This model logs each component independently, so a
+        checkpoint taken while an ownership transfer was in flight can
+        restore a directory entry that names an owner whose (also restored)
+        cache no longer holds the block — which would wedge re-execution.
+        This pass recomputes each entry's owner/sharers/state from the
+        restored cache contents, which is exactly the state a consistent cut
+        would have captured.  It runs inside the recovery (after the undo
+        replay) and is not itself logged.
+        """
+        copies: Dict[int, List] = {}
+        for node in self.nodes:
+            for line in node.l2_array.lines():
+                copies.setdefault(line.address, []).append((node.node_id, line.state))
+        every_address = set(copies)
+        for node in self.nodes:
+            every_address.update(node.directory.entries.keys())
+        for address in every_address:
+            home = self.nodes[self._home(address)].directory
+            entry = home.entry(address)
+            holders = copies.get(address, [])
+            owners = [n for n, s in holders
+                      if s in (CacheState.MODIFIED, CacheState.OWNED)]
+            sharers = {n for n, s in holders if s == CacheState.SHARED}
+            if owners:
+                owner = owners[0]
+                # A cut can never legitimately produce two owners, but be
+                # defensive: demote extras to sharers.
+                for extra in owners[1:]:
+                    self.nodes[extra].l2_array.force_line(
+                        address, CacheState.SHARED,
+                        self.nodes[extra].l2_array.peek(address).value)
+                    sharers.add(extra)
+                entry.owner = owner
+                entry.state = DirectoryState.OWNED
+                entry.sharers = sharers - {owner}
+            else:
+                entry.owner = None
+                entry.sharers = sharers
+                entry.state = (DirectoryState.SHARED if sharers
+                               else DirectoryState.UNCACHED)
+
+    # ------------------------------------------------------------------ checks
+    def invariant_errors(self) -> List[str]:
+        """Coherence invariant violations across the whole system.
+
+        Checks the single-writer / multiple-reader (SWMR) invariant and the
+        consistency between directory entries and cache states.  Empty when
+        the system is healthy; property-based tests assert exactly that.
+        """
+        errors: List[str] = []
+        owners: Dict[int, List[int]] = {}
+        for node in self.nodes:
+            errors.extend(node.invariant_errors())
+            for line in node.l2_array.lines():
+                if line.state in (CacheState.MODIFIED, CacheState.OWNED):
+                    owners.setdefault(line.address, []).append(node.node_id)
+                if line.state == CacheState.MODIFIED:
+                    for other in self.nodes:
+                        if other.node_id == node.node_id:
+                            continue
+                        other_line = other.l2_array.peek(line.address)
+                        if other_line is not None and other_line.state != CacheState.INVALID:
+                            errors.append(
+                                f"block {line.address:#x}: M at node {node.node_id} "
+                                f"but {other_line.state.value} at node {other.node_id}")
+        for address, holders in owners.items():
+            if len(holders) > 1:
+                errors.append(f"block {address:#x}: multiple owners {holders}")
+        return errors

@@ -1,0 +1,37 @@
+"""Per-node component bundle for the directory system.
+
+A node of the target system (Section 5.1) consists of a processor, two
+levels of cache, a slice of the shared memory and its directory, and a
+network interface.  :class:`DirectoryNode` owns those pieces for one node;
+the wiring between them is done by
+:class:`repro.system.directory_system.DirectorySystem`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coherence.cache import CacheArray
+from repro.coherence.directory.cache_controller import DirectoryCacheController
+from repro.coherence.directory.directory_controller import DirectoryController
+from repro.processor.core import BlockingProcessor
+from repro.processor.l1 import L1FilterCache
+
+
+@dataclass
+class DirectoryNode:
+    """All components of one node of the directory-protocol system."""
+
+    node_id: int
+    processor: BlockingProcessor
+    l1: L1FilterCache
+    l2_array: CacheArray
+    cache_controller: DirectoryCacheController
+    directory: DirectoryController
+
+    def invariant_errors(self):
+        """Structural invariant violations across the node's controllers."""
+        errors = []
+        errors.extend(self.cache_controller.invariant_errors())
+        errors.extend(self.directory.invariant_errors())
+        return errors

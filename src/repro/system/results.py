@@ -1,0 +1,75 @@
+"""Results of one simulated run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.events import RecoveryRecord, SpeculationKind
+
+
+@dataclass
+class RunResult:
+    """Everything an experiment needs from one completed simulation.
+
+    ``runtime_cycles`` is the primary performance metric (lower is better);
+    the paper's "normalized performance" for a configuration is
+    ``baseline.runtime_cycles / this.runtime_cycles``.
+    """
+
+    workload: str
+    config_label: str
+    runtime_cycles: int
+    references_completed: int
+    instructions_retired: int
+    finished: bool
+    #: Mis-speculation / recovery accounting.
+    detections: int = 0
+    recoveries: int = 0
+    recoveries_by_kind: Dict[str, int] = field(default_factory=dict)
+    recovery_records: List[RecoveryRecord] = field(default_factory=list)
+    #: Interconnect measurements.
+    messages_delivered: int = 0
+    mean_message_latency: float = 0.0
+    mean_link_utilization: float = 0.0
+    peak_link_utilization: float = 0.0
+    reorder_rate_overall: float = 0.0
+    reorder_rate_by_vnet: Dict[str, float] = field(default_factory=dict)
+    #: Cache behaviour.
+    l2_misses: int = 0
+    l2_hits: int = 0
+    #: SafetyNet behaviour.
+    checkpoints_taken: int = 0
+    peak_log_entries: int = 0
+    #: Raw counter dump (prefix-filtered views are cheap to build from this).
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ derived
+    @property
+    def l2_miss_rate(self) -> float:
+        total = self.l2_misses + self.l2_hits
+        return self.l2_misses / total if total else 0.0
+
+    @property
+    def cycles_per_reference(self) -> float:
+        if self.references_completed == 0:
+            return 0.0
+        return self.runtime_cycles / self.references_completed
+
+    def normalized_to(self, baseline: "RunResult") -> float:
+        """Normalized performance relative to a baseline run (1.0 = equal)."""
+        if self.runtime_cycles <= 0:
+            return 0.0
+        return baseline.runtime_cycles / self.runtime_cycles
+
+    def recoveries_of(self, kind: SpeculationKind) -> int:
+        return self.recoveries_by_kind.get(kind.value, 0)
+
+    def summary_line(self) -> str:
+        """One-line human readable summary (used by example scripts)."""
+        return (f"{self.workload:>10s} [{self.config_label}] "
+                f"runtime={self.runtime_cycles} cycles, "
+                f"refs={self.references_completed}, "
+                f"L2 miss rate={self.l2_miss_rate:.3f}, "
+                f"recoveries={self.recoveries}, "
+                f"link util={self.mean_link_utilization:.2%}")

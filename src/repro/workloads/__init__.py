@@ -1,0 +1,67 @@
+"""Synthetic workloads standing in for the paper's Table 3 suite.
+
+Five workloads: four commercial (``oltp``, ``jbb``, ``apache``,
+``slashcode``) and one scientific (``barnes``), each defined by a
+:class:`repro.workloads.base.WorkloadProfile` in its own module and
+instantiated through :func:`make_workload` / :func:`workload_names`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads import apache, barnes, jbb, oltp, slashcode
+from repro.workloads.base import (
+    Reference,
+    SyntheticWorkload,
+    WorkloadProfile,
+    mix_statistics,
+)
+
+#: All workload profiles, in the order the paper's figures plot them.
+PROFILES: Dict[str, WorkloadProfile] = {
+    "jbb": jbb.PROFILE,
+    "apache": apache.PROFILE,
+    "slashcode": slashcode.PROFILE,
+    "oltp": oltp.PROFILE,
+    "barnes": barnes.PROFILE,
+}
+
+
+def workload_names() -> List[str]:
+    """Names of the five workloads, in figure order."""
+    return list(PROFILES)
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a workload profile by name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(PROFILES)}") from None
+
+
+def make_workload(name: str, *, num_processors: int, block_bytes: int = 64,
+                  seed: int = 1) -> SyntheticWorkload:
+    """Instantiate a named workload generator."""
+    return SyntheticWorkload(get_profile(name), num_processors=num_processors,
+                             block_bytes=block_bytes, seed=seed)
+
+
+def table3_rows() -> Dict[str, str]:
+    """Table 3 analogue: one descriptive row per workload."""
+    return {name: profile.description for name, profile in PROFILES.items()}
+
+
+__all__ = [
+    "Reference",
+    "SyntheticWorkload",
+    "WorkloadProfile",
+    "mix_statistics",
+    "PROFILES",
+    "workload_names",
+    "get_profile",
+    "make_workload",
+    "table3_rows",
+]

@@ -1,0 +1,33 @@
+"""Static web server (Apache + SURGE) workload analogue.
+
+The paper's static web workload serves a 2,000-file (~50 MB) repository with
+Apache 1.3.19 and SURGE-generated requests, 10 users per processor.  Its
+signature:
+
+* a read-mostly shared file/page cache with a Zipf-like popularity skew,
+* small per-request private state (low private footprint),
+* a low store fraction overall (responses are reads; metadata updates and
+  logging provide the writes),
+* lock activity around the accept queue and logging.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadProfile
+
+PROFILE = WorkloadProfile(
+    name="apache",
+    description="Apache/SURGE-like static web serving",
+    private_blocks=3072,
+    shared_blocks=3072,
+    shared_fraction=0.40,
+    shared_write_fraction=0.06,
+    private_write_fraction=0.20,
+    shared_zipf_alpha=1.5,
+    migratory_fraction=0.02,
+    migratory_records=48,
+    lock_fraction=0.02,
+    lock_blocks=8,
+    sequential_run_probability=0.60,
+    sequential_run_length=10,
+)

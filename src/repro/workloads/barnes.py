@@ -1,0 +1,34 @@
+"""barnes-hut (SPLASH-2) workload analogue.
+
+The scientific workload is barnes-hut with the 16K-body input, measured from
+the start of the parallel phase.  Relative to the commercial workloads it
+has:
+
+* excellent spatial locality (bodies and tree cells are walked
+  sequentially), hence long sequential runs and a smaller active footprint,
+* producer/consumer and migratory sharing of tree cells during the force
+  computation and tree-build phases,
+* a lower synchronisation rate (barriers rather than fine-grained locks),
+* a moderate store fraction (position/velocity updates).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadProfile
+
+PROFILE = WorkloadProfile(
+    name="barnes",
+    description="SPLASH-2 barnes-hut N-body analogue (16K bodies)",
+    private_blocks=5120,
+    shared_blocks=2048,
+    shared_fraction=0.25,
+    shared_write_fraction=0.12,
+    private_write_fraction=0.25,
+    shared_zipf_alpha=1.1,
+    migratory_fraction=0.06,
+    migratory_records=160,
+    lock_fraction=0.008,
+    lock_blocks=8,
+    sequential_run_probability=0.75,
+    sequential_run_length=12,
+)

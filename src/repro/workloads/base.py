@@ -1,0 +1,231 @@
+"""Synthetic workload generation.
+
+The paper evaluates with the Wisconsin Commercial Workload Suite (OLTP,
+SPECjbb, Apache, Slashcode) plus barnes-hut from SPLASH-2 (Table 3), run
+under full-system simulation.  Those workloads and the Simics environment
+are not available here, so each workload is replaced by a synthetic memory
+reference generator whose coarse memory-system character matches the
+original (see DESIGN.md for the substitution argument).  What the
+experiments actually consume from a workload is the stream of block
+addresses and read/write operations each processor presents to the coherence
+protocol; the generator controls exactly those properties:
+
+* per-processor private working set (captures capacity miss rate),
+* a globally shared region with configurable access probability, skew
+  (hot blocks) and write fraction (captures sharing-induced coherence
+  traffic: invalidations, forwarded requests, writeback races),
+* migratory sharing (read-modify-write of a moving "record"), the pattern
+  that produces Section 3.1's writeback races,
+* lock-like hot blocks with very high write fractions (captures contention
+  in OLTP/Slashcode),
+* sequential scan runs (captures streaming phases in barnes/Apache).
+
+Reference streams are fully deterministic given a seed, which makes every
+experiment reproducible and lets the SafetyNet rollback re-execute exactly
+the same work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.coherence.common import MemoryOp
+from repro.sim.rng import DeterministicRng
+
+#: One memory reference: (operation, block address).
+Reference = Tuple[MemoryOp, int]
+
+
+@dataclass
+class WorkloadProfile:
+    """Parameters that shape a synthetic workload.
+
+    The numbers are per-reference probabilities; they do not need to sum to
+    one — remaining probability mass goes to the private working set.
+    """
+
+    name: str
+    description: str = ""
+    #: Blocks in each processor's private working set.
+    private_blocks: int = 4096
+    #: Blocks in the globally shared region.
+    shared_blocks: int = 2048
+    #: Probability that a reference targets the shared region.
+    shared_fraction: float = 0.20
+    #: Probability that a *shared* reference is a store.
+    shared_write_fraction: float = 0.20
+    #: Probability that a *private* reference is a store.
+    private_write_fraction: float = 0.30
+    #: Zipf exponent for shared-region block popularity (>1 = skewed).
+    shared_zipf_alpha: float = 1.2
+    #: Probability of a migratory read-modify-write burst (owner moves from
+    #: processor to processor; generates writebacks racing with requests).
+    migratory_fraction: float = 0.05
+    #: Number of distinct migratory records.
+    migratory_records: int = 64
+    #: Probability of touching a lock-like hot block (read-modify-write).
+    lock_fraction: float = 0.02
+    #: Number of lock blocks.
+    lock_blocks: int = 16
+    #: Probability that a private reference continues a sequential run.
+    sequential_run_probability: float = 0.5
+    #: Mean length of sequential runs (blocks).
+    sequential_run_length: int = 8
+
+    def __post_init__(self) -> None:
+        for attr in ("shared_fraction", "shared_write_fraction",
+                     "private_write_fraction", "migratory_fraction",
+                     "lock_fraction", "sequential_run_probability"):
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{attr} must be in [0, 1], got {value}")
+        if self.private_blocks <= 0 or self.shared_blocks <= 0:
+            raise ValueError("working-set sizes must be positive")
+
+
+class SyntheticWorkload:
+    """Generates per-processor reference streams from a profile."""
+
+    def __init__(self, profile: WorkloadProfile, *, num_processors: int,
+                 block_bytes: int = 64, seed: int = 1) -> None:
+        if num_processors <= 0:
+            raise ValueError("num_processors must be positive")
+        self.profile = profile
+        self.num_processors = num_processors
+        self.block_bytes = block_bytes
+        self.seed = seed
+        self.rng = DeterministicRng(seed)
+        # Address-space layout: [shared region][locks][migratory][per-node private]
+        self._shared_base = 0
+        self._lock_base = self._shared_base + profile.shared_blocks * block_bytes
+        self._migratory_base = self._lock_base + profile.lock_blocks * block_bytes
+        self._private_base = (self._migratory_base
+                              + profile.migratory_records * block_bytes)
+
+    # ------------------------------------------------------------- addressing
+    def shared_address(self, index: int) -> int:
+        return self._shared_base + (index % self.profile.shared_blocks) * self.block_bytes
+
+    def lock_address(self, index: int) -> int:
+        return self._lock_base + (index % self.profile.lock_blocks) * self.block_bytes
+
+    def migratory_address(self, index: int) -> int:
+        return self._migratory_base + (index % self.profile.migratory_records) * self.block_bytes
+
+    def private_address(self, node: int, index: int) -> int:
+        node_base = self._private_base + node * self.profile.private_blocks * self.block_bytes
+        return node_base + (index % self.profile.private_blocks) * self.block_bytes
+
+    @property
+    def footprint_blocks(self) -> int:
+        """Total distinct blocks the workload can touch."""
+        p = self.profile
+        return (p.shared_blocks + p.lock_blocks + p.migratory_records
+                + p.private_blocks * self.num_processors)
+
+    # -------------------------------------------------------------- generation
+    def generate(self, node: int, num_references: int) -> List[Reference]:
+        """Generate the reference stream for one processor."""
+        if num_references < 0:
+            raise ValueError("num_references must be non-negative")
+        p = self.profile
+        stream = self.rng.stream(f"workload.{p.name}.node{node}")
+        refs: List[Reference] = []
+        seq_remaining = 0
+        seq_cursor = 0
+        private_cursor = 0
+
+        draws = stream.random(num_references)
+        kind_draws = stream.random(num_references)
+
+        i = 0
+        while len(refs) < num_references:
+            u = draws[i % len(draws)] if len(draws) else 0.0
+            k = kind_draws[i % len(kind_draws)] if len(kind_draws) else 0.0
+            i += 1
+
+            if u < p.lock_fraction:
+                # Lock acquire/release: read-modify-write of a hot block.
+                addr = self.lock_address(int(stream.integers(0, p.lock_blocks)))
+                refs.append((MemoryOp.LOAD, addr))
+                if len(refs) < num_references:
+                    refs.append((MemoryOp.STORE, addr))
+                continue
+            u -= p.lock_fraction
+
+            if u < p.migratory_fraction:
+                # Migratory record: read then write, ownership migrates.
+                addr = self.migratory_address(int(stream.integers(0, p.migratory_records)))
+                refs.append((MemoryOp.LOAD, addr))
+                if len(refs) < num_references:
+                    refs.append((MemoryOp.STORE, addr))
+                continue
+            u -= p.migratory_fraction
+
+            if u < p.shared_fraction:
+                index = self._zipf_index(stream, p.shared_blocks, p.shared_zipf_alpha)
+                addr = self.shared_address(index)
+                op = MemoryOp.STORE if k < p.shared_write_fraction else MemoryOp.LOAD
+                refs.append((op, addr))
+                continue
+
+            # Private reference, possibly continuing a sequential run.
+            if seq_remaining > 0:
+                seq_cursor += 1
+                seq_remaining -= 1
+            elif k < p.sequential_run_probability:
+                seq_cursor = int(stream.integers(0, p.private_blocks))
+                seq_remaining = max(1, int(stream.geometric(1.0 / p.sequential_run_length)))
+            else:
+                private_cursor = int(stream.integers(0, p.private_blocks))
+                seq_cursor = private_cursor
+            addr = self.private_address(node, seq_cursor)
+            op = MemoryOp.STORE if k < p.private_write_fraction else MemoryOp.LOAD
+            refs.append((op, addr))
+
+        return refs[:num_references]
+
+    @staticmethod
+    def _zipf_index(stream: np.random.Generator, n: int, alpha: float) -> int:
+        if alpha <= 1.0:
+            return int(stream.integers(0, n))
+        while True:
+            value = int(stream.zipf(alpha)) - 1
+            if value < n:
+                return value
+
+    def generate_all(self, references_per_processor: int) -> Dict[int, List[Reference]]:
+        """Generate streams for every processor."""
+        return {node: self.generate(node, references_per_processor)
+                for node in range(self.num_processors)}
+
+    # -------------------------------------------------------------- reporting
+    def summary(self) -> Dict[str, object]:
+        p = self.profile
+        return {
+            "name": p.name,
+            "description": p.description,
+            "processors": self.num_processors,
+            "footprint_blocks": self.footprint_blocks,
+            "shared_fraction": p.shared_fraction,
+            "shared_write_fraction": p.shared_write_fraction,
+            "migratory_fraction": p.migratory_fraction,
+            "lock_fraction": p.lock_fraction,
+        }
+
+
+def mix_statistics(references: Sequence[Reference]) -> Dict[str, float]:
+    """Read/write/footprint statistics of a reference stream (for tests)."""
+    if not references:
+        return {"stores": 0.0, "loads": 0.0, "unique_blocks": 0.0}
+    stores = sum(1 for op, _ in references if op == MemoryOp.STORE)
+    unique = len({addr for _, addr in references})
+    total = len(references)
+    return {
+        "stores": stores / total,
+        "loads": (total - stores) / total,
+        "unique_blocks": float(unique),
+    }

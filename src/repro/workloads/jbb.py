@@ -1,0 +1,32 @@
+"""SPECjbb2000 workload analogue ("Java Server").
+
+The paper's Java server workload is SPECjbb2000 with 24 warehouses (~500 MB)
+on the HotSpot server JVM.  Compared to OLTP it has:
+
+* mostly warehouse-private object graphs (large private working set, decent
+  locality from allocation),
+* a smaller shared region (company-wide structures, the JIT code cache),
+* a high overall store fraction (object allocation and field updates),
+* lighter lock contention than OLTP.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadProfile
+
+PROFILE = WorkloadProfile(
+    name="jbb",
+    description="SPECjbb2000-like Java middleware server",
+    private_blocks=8192,
+    shared_blocks=1536,
+    shared_fraction=0.15,
+    shared_write_fraction=0.20,
+    private_write_fraction=0.40,
+    shared_zipf_alpha=1.2,
+    migratory_fraction=0.04,
+    migratory_records=96,
+    lock_fraction=0.015,
+    lock_blocks=12,
+    sequential_run_probability=0.55,
+    sequential_run_length=6,
+)

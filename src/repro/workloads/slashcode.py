@@ -1,0 +1,32 @@
+"""Dynamic web server (Slashcode) workload analogue.
+
+The paper's dynamic web workload runs Slashcode 2.0 over Apache/mod_perl and
+MySQL with 3 browsing/posting users per processor.  It mixes the static web
+server's read-mostly page traffic with database behaviour closer to OLTP:
+
+* a shared message/database cache with moderate skew,
+* more stores than the static server (posts, session state, query caches),
+* moderate lock contention in the database engine,
+* migratory update of hot rows (story/comment counters).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadProfile
+
+PROFILE = WorkloadProfile(
+    name="slashcode",
+    description="Slashcode-like dynamic web serving (Apache + MySQL analogue)",
+    private_blocks=4096,
+    shared_blocks=3072,
+    shared_fraction=0.30,
+    shared_write_fraction=0.15,
+    private_write_fraction=0.30,
+    shared_zipf_alpha=1.3,
+    migratory_fraction=0.05,
+    migratory_records=96,
+    lock_fraction=0.03,
+    lock_blocks=16,
+    sequential_run_probability=0.45,
+    sequential_run_length=6,
+)

@@ -1,0 +1,135 @@
+"""Tests for the analysis helpers and the (fast) experiment drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import (
+    geometric_mean,
+    mean_and_std,
+    normalized_performance,
+    recoveries_per_scaled_second,
+    reorder_percentages,
+    speedup,
+)
+from repro.analysis.report import format_counters, format_figure_series, format_table
+from repro.experiments import (
+    fig1_reordering_demo,
+    fig2_endpoint_deadlock,
+    fig3_switch_deadlock,
+    table1_framework,
+    table2_parameters,
+    table3_workloads,
+)
+from repro.system.results import RunResult
+
+
+def make_result(runtime=1_000, workload="jbb", **kwargs) -> RunResult:
+    defaults = dict(config_label="test", references_completed=100,
+                    instructions_retired=400, finished=True)
+    defaults.update(kwargs)
+    return RunResult(workload=workload, runtime_cycles=runtime, **defaults)
+
+
+class TestMetrics:
+    def test_normalized_performance(self):
+        base = make_result(runtime=1_000)
+        slower = make_result(runtime=2_000)
+        assert normalized_performance(slower, base) == pytest.approx(0.5)
+        assert normalized_performance(base, base) == pytest.approx(1.0)
+
+    def test_speedup(self):
+        old = make_result(runtime=2_000)
+        new = make_result(runtime=1_000)
+        assert speedup(new, old) == pytest.approx(2.0)
+
+    def test_mean_and_std(self):
+        mean, std = mean_and_std([1.0, 1.0, 1.0])
+        assert mean == 1.0 and std == 0.0
+        mean, std = mean_and_std([0.0, 2.0])
+        assert mean == 1.0 and std == 1.0
+        assert mean_and_std([]) == (0.0, 0.0)
+
+    def test_reorder_percentages(self):
+        result = make_result(reorder_rate_by_vnet={"FORWARDED_REQUEST": 0.002,
+                                                   "RESPONSE": 0.0})
+        pct = reorder_percentages(result)
+        assert pct["FORWARDED_REQUEST"] == pytest.approx(0.2)
+
+    def test_recoveries_per_scaled_second(self):
+        result = make_result(runtime=2_000_000, recoveries=4)
+        assert recoveries_per_scaled_second(result, 1e6) == pytest.approx(2.0)
+        assert recoveries_per_scaled_second(make_result(runtime=0), 1e6) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([1.0, 0.0]) == 0.0
+
+    def test_run_result_derived_fields(self):
+        result = make_result(l2_hits=80, l2_misses=20, references_completed=100)
+        assert result.l2_miss_rate == pytest.approx(0.2)
+        assert result.cycles_per_reference == pytest.approx(10.0)
+        assert result.recoveries_of.__call__ is not None
+
+
+class TestReportFormatting:
+    def test_format_table_contains_rows_and_columns(self):
+        text = format_table("T", {"row1": {"a": 1, "b": 2.5}, "row2": {"a": 3}})
+        assert "T" in text and "row1" in text and "row2" in text
+        assert "2.500" in text
+
+    def test_format_table_explicit_columns(self):
+        text = format_table("T", {"r": {"a": 1, "b": 2}}, columns=["b"])
+        assert "b" in text and " a" not in text.splitlines()[1]
+
+    def test_format_figure_series(self):
+        text = format_figure_series("F", {"jbb": {"static": 1.0, "adaptive": 1.1}})
+        assert "jbb" in text and "adaptive" in text and "#" in text
+
+    def test_format_counters_prefix_and_limit(self):
+        counters = {f"net.c{i}": i for i in range(50)}
+        counters["cache.x"] = 1
+        text = format_counters("C", counters, prefix="net.", limit=10)
+        assert "cache.x" not in text
+        assert "more)" in text
+
+
+class TestStructuralExperiments:
+    def test_table1_rows_and_wiring(self):
+        result = table1_framework.run()
+        assert len(result.rows) == 5
+        assert all(result.wiring_ok.values())
+        assert "SafetyNet" in result.format()
+
+    def test_table2_scales(self):
+        result = table2_parameters.run()
+        assert result.paper_rows["L1 Cache (I and D)"].startswith("128 KB")
+        assert "Checkpoint Interval" in result.benchmark_rows
+        assert "paper scale" in result.format()
+
+    def test_table3_measured_rows(self):
+        result = table3_workloads.run(num_processors=4, references=500)
+        assert set(result.rows) == {"jbb", "apache", "slashcode", "oltp", "barnes"}
+        for row in result.rows.values():
+            assert 0.0 < row["store fraction"] < 1.0
+            assert row["unique blocks"] > 0
+
+    def test_fig1_static_never_reorders_adaptive_sometimes_does(self):
+        result = fig1_reordering_demo.run(pairs=80, seed=7)
+        assert result.reordered_pairs["static"] == 0
+        assert result.reordered_pairs["adaptive"] > 0
+        assert 0.0 < result.reorder_rate["adaptive"] < 0.5
+
+    def test_fig2_shared_queues_deadlock_virtual_networks_do_not(self):
+        result = fig2_endpoint_deadlock.run()
+        assert result.shared_queue_deadlock.deadlocked
+        assert not result.virtual_network_deadlock.deadlocked
+        assert "deadlock=True" in result.format()
+
+    def test_fig3_no_vc_wedges_vc_does_not(self):
+        result = fig3_switch_deadlock.run()
+        assert result.no_vc_wedged
+        assert result.no_vc_report.deadlocked
+        assert not result.vc_report.deadlocked
+        assert result.vc_delivered == result.vc_sent

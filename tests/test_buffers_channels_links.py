@@ -1,0 +1,210 @@
+"""Unit and property tests for buffers, virtual channels and links."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.interconnect.buffers import BufferFullError, FiniteBuffer
+from repro.interconnect.link import Link
+from repro.interconnect.message import MessageClass, NetworkMessage, VirtualNetwork
+from repro.interconnect.virtual_channel import ChannelId, ChannelSet
+from repro.sim.engine import Simulator
+
+
+def _msg(src=0, dst=1, msg_class=MessageClass.DATA) -> NetworkMessage:
+    return NetworkMessage(src=src, dst=dst, msg_class=msg_class, size_bytes=72)
+
+
+class TestFiniteBuffer:
+    def test_fifo_order(self):
+        buf: FiniteBuffer[int] = FiniteBuffer("b", 4)
+        for i in range(3):
+            buf.push(i)
+        assert [buf.pop() for _ in range(3)] == [0, 1, 2]
+
+    def test_push_full_raises(self):
+        buf: FiniteBuffer[int] = FiniteBuffer("b", 1)
+        buf.push(1)
+        with pytest.raises(BufferFullError):
+            buf.push(2)
+
+    def test_reservation_counts_against_capacity(self):
+        buf: FiniteBuffer[int] = FiniteBuffer("b", 2)
+        assert buf.reserve()
+        assert buf.reserve()
+        assert not buf.reserve()
+        assert buf.is_full
+
+    def test_push_reserved_consumes_reservation(self):
+        buf: FiniteBuffer[int] = FiniteBuffer("b", 2)
+        assert buf.reserve()
+        buf.push_reserved("x")
+        assert len(buf) == 1
+        assert buf.occupancy == 1
+
+    def test_push_reserved_without_reservation_raises(self):
+        buf: FiniteBuffer[int] = FiniteBuffer("b", 2)
+        with pytest.raises(RuntimeError):
+            buf.push_reserved("x")
+
+    def test_cancel_reservation(self):
+        buf: FiniteBuffer[int] = FiniteBuffer("b", 1)
+        assert buf.reserve()
+        buf.cancel_reservation()
+        assert buf.free_slots == 1
+        with pytest.raises(RuntimeError):
+            buf.cancel_reservation()
+
+    def test_drain_clears_everything(self):
+        buf: FiniteBuffer[int] = FiniteBuffer("b", 4)
+        buf.push(1)
+        buf.reserve()
+        dropped = buf.drain()
+        assert dropped == [1]
+        assert buf.occupancy == 0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            FiniteBuffer("b", 1).pop()
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FiniteBuffer("b", 0)
+
+    @given(st.lists(st.integers(0, 2), min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, ops):
+        """Property: occupancy stays within [0, capacity] under any op mix."""
+        buf: FiniteBuffer[int] = FiniteBuffer("b", 4)
+        for op in ops:
+            if op == 0:
+                buf.reserve()
+            elif op == 1 and buf._reserved > 0:
+                buf.push_reserved(1)
+            elif op == 2 and len(buf) > 0:
+                buf.pop()
+            assert 0 <= buf.occupancy <= buf.capacity
+            assert buf.free_slots == buf.capacity - buf.occupancy
+
+
+class TestChannelSet:
+    def test_shared_mode_has_single_buffer(self):
+        channels = ChannelSet("p", virtual_networks=4, virtual_channels=2,
+                              capacity_per_channel=8, shared=True)
+        assert len(channels.buffers()) == 1
+        assert channels.channel_for(_msg()) == ChannelId(0, 0)
+
+    def test_vc_mode_has_one_buffer_per_vn_vc(self):
+        channels = ChannelSet("p", virtual_networks=4, virtual_channels=2,
+                              capacity_per_channel=8, shared=False)
+        assert len(channels.buffers()) == 8
+
+    def test_stream_maps_to_stable_channel(self):
+        channels = ChannelSet("p", virtual_networks=4, virtual_channels=2,
+                              capacity_per_channel=8, shared=False)
+        a = channels.channel_for(_msg(src=1, dst=2))
+        b = channels.channel_for(_msg(src=1, dst=2))
+        assert a == b
+
+    def test_different_classes_use_different_virtual_networks(self):
+        channels = ChannelSet("p", virtual_networks=4, virtual_channels=1,
+                              capacity_per_channel=8, shared=False)
+        req = channels.channel_for(_msg(msg_class=MessageClass.REQUEST_READ_ONLY))
+        rsp = channels.channel_for(_msg(msg_class=MessageClass.DATA))
+        assert req.virtual_network != rsp.virtual_network
+
+    def test_reserve_and_free_slots(self):
+        channels = ChannelSet("p", virtual_networks=4, virtual_channels=1,
+                              capacity_per_channel=2, shared=False)
+        message = _msg()
+        assert channels.free_slots_for(message) == 2
+        ok, cid = channels.reserve_for(message)
+        assert ok
+        channels.buffer(cid).push_reserved(message)
+        assert channels.free_slots_for(message) == 1
+
+    def test_reserve_fails_when_full(self):
+        channels = ChannelSet("p", virtual_networks=1, virtual_channels=1,
+                              capacity_per_channel=1, shared=True)
+        message = _msg()
+        ok, cid = channels.reserve_for(message)
+        assert ok
+        ok2, _ = channels.reserve_for(message)
+        assert not ok2
+
+    def test_drain_returns_queued_messages(self):
+        channels = ChannelSet("p", virtual_networks=2, virtual_channels=1,
+                              capacity_per_channel=4, shared=False)
+        message = _msg()
+        ok, cid = channels.reserve_for(message)
+        channels.buffer(cid).push_reserved(message)
+        assert channels.drain() == [message]
+        assert channels.occupancy() == 0
+
+    def test_total_capacity(self):
+        channels = ChannelSet("p", virtual_networks=4, virtual_channels=2,
+                              capacity_per_channel=8, shared=False)
+        assert channels.total_capacity() == 64
+
+
+class TestLink:
+    def test_serialization_scales_with_size(self):
+        sim = Simulator()
+        link = Link("l", sim, latency_cycles=8, cycles_per_byte=10.0)
+        assert link.serialization_cycles(72) == 720
+        assert link.serialization_cycles(8) == 80
+
+    def test_occupy_accounts_busy_time(self):
+        sim = Simulator()
+        link = Link("l", sim, latency_cycles=8, cycles_per_byte=1.0)
+        arrival = link.occupy(10)
+        assert arrival == 10 + 8
+        assert link.is_busy
+        assert link.busy_cycles == 10
+
+    def test_back_to_back_messages_serialise(self):
+        sim = Simulator()
+        link = Link("l", sim, latency_cycles=2, cycles_per_byte=1.0)
+        first = link.occupy(10)
+        second = link.occupy(10)
+        assert second == first + 10
+
+    def test_utilization(self):
+        sim = Simulator()
+        link = Link("l", sim, latency_cycles=0, cycles_per_byte=1.0)
+        link.occupy(50)
+        assert link.utilization(100) == pytest.approx(0.5)
+        assert link.utilization(0) == 0.0
+
+    def test_parameter_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Link("l", sim, latency_cycles=-1, cycles_per_byte=1.0)
+        with pytest.raises(ValueError):
+            Link("l", sim, latency_cycles=1, cycles_per_byte=0.0)
+
+
+class TestMessageClassification:
+    def test_virtual_network_mapping(self):
+        assert MessageClass.REQUEST_READ_WRITE.virtual_network == VirtualNetwork.REQUEST
+        assert MessageClass.WRITEBACK.virtual_network == VirtualNetwork.REQUEST
+        assert MessageClass.WRITEBACK_ACK.virtual_network == VirtualNetwork.FORWARDED_REQUEST
+        assert MessageClass.DATA.virtual_network == VirtualNetwork.RESPONSE
+        assert MessageClass.FINAL_ACK.virtual_network == VirtualNetwork.FINAL_ACK
+
+    def test_data_classes_carry_data(self):
+        assert MessageClass.DATA.carries_data
+        assert MessageClass.WRITEBACK.carries_data
+        assert not MessageClass.ACK.carries_data
+
+    def test_ordering_key_uses_virtual_network(self):
+        a = _msg(src=1, dst=2, msg_class=MessageClass.WRITEBACK_ACK)
+        b = _msg(src=1, dst=2, msg_class=MessageClass.FORWARDED_REQUEST_READ_WRITE)
+        assert a.ordering_key() == b.ordering_key()
+
+    def test_latency_requires_delivery(self):
+        message = _msg()
+        with pytest.raises(ValueError):
+            _ = message.latency

@@ -1,0 +1,209 @@
+"""Unit and property tests for the set-associative cache array."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.coherence.cache import CacheArray
+from repro.coherence.directory.states import CacheState
+from repro.sim.config import CacheConfig
+
+
+def make_cache(size=4 * 1024, assoc=2, block=64) -> CacheArray:
+    return CacheArray("test", CacheConfig(size, assoc, block), CacheState.INVALID)
+
+
+class TestBasicOperations:
+    def test_allocate_and_lookup(self):
+        cache = make_cache()
+        cache.allocate(0x1000, CacheState.SHARED, value=7)
+        line = cache.lookup(0x1000)
+        assert line is not None
+        assert line.state == CacheState.SHARED
+        assert line.value == 7
+
+    def test_missing_block_is_invalid(self):
+        cache = make_cache()
+        assert cache.lookup(0x40) is None
+        assert cache.get_state(0x40) == CacheState.INVALID
+        assert not cache.contains(0x40)
+
+    def test_set_state_transition(self):
+        cache = make_cache()
+        cache.allocate(0x80, CacheState.SHARED)
+        cache.set_state(0x80, CacheState.MODIFIED)
+        assert cache.get_state(0x80) == CacheState.MODIFIED
+
+    def test_invalidation_removes_line(self):
+        cache = make_cache()
+        cache.allocate(0x80, CacheState.MODIFIED, value=3)
+        cache.set_state(0x80, CacheState.INVALID)
+        assert not cache.contains(0x80)
+        assert cache.occupancy == 0
+
+    def test_set_state_on_missing_block_raises(self):
+        cache = make_cache()
+        with pytest.raises(KeyError):
+            cache.set_state(0x80, CacheState.SHARED)
+        # Setting a missing block invalid is a no-op, not an error.
+        cache.set_state(0x80, CacheState.INVALID)
+
+    def test_set_value(self):
+        cache = make_cache()
+        cache.allocate(0x80, CacheState.MODIFIED, value=1)
+        cache.set_value(0x80, 99)
+        assert cache.peek(0x80).value == 99
+        with pytest.raises(KeyError):
+            cache.set_value(0x4000, 1)
+
+    def test_set_index_wraps_by_block(self):
+        cache = make_cache(size=4 * 1024, assoc=2, block=64)
+        # 32 sets: addresses 64 * 32 apart map to the same set.
+        assert cache.set_index(0) == cache.set_index(64 * 32)
+        assert cache.set_index(0) != cache.set_index(64)
+
+
+class TestEviction:
+    def test_lru_victim_selected(self):
+        cache = make_cache(size=256, assoc=2, block=64)  # 2 sets, 2 ways
+        set_stride = 64 * cache.config.num_sets
+        cache.allocate(0, CacheState.SHARED)
+        cache.allocate(set_stride, CacheState.SHARED)
+        cache.lookup(0)  # touch block 0 so block set_stride is LRU
+        _, victim = cache.allocate(2 * set_stride, CacheState.SHARED)
+        assert victim is not None
+        assert victim.address == set_stride
+
+    def test_eviction_respects_filter(self):
+        cache = make_cache(size=256, assoc=2, block=64)
+        stride = 64 * cache.config.num_sets
+        cache.allocate(0, CacheState.MODIFIED)
+        cache.allocate(stride, CacheState.SHARED)
+        victim = cache.find_victim(2 * stride,
+                                   evictable=lambda line: line.state == CacheState.SHARED)
+        assert victim is not None and victim.address == stride
+
+    def test_allocate_existing_updates_in_place(self):
+        cache = make_cache()
+        cache.allocate(0x40, CacheState.SHARED, value=1)
+        line, victim = cache.allocate(0x40, CacheState.MODIFIED, value=2)
+        assert victim is None
+        assert line.state == CacheState.MODIFIED
+        assert cache.occupancy == 1
+
+    def test_eviction_counter(self):
+        cache = make_cache(size=256, assoc=2, block=64)
+        stride = 64 * cache.config.num_sets
+        for i in range(4):
+            cache.allocate(i * stride, CacheState.SHARED)
+        assert cache.evictions == 2
+
+
+class TestObserver:
+    def test_observer_sees_state_changes(self):
+        cache = make_cache()
+        events = []
+        cache.set_observer(lambda addr, field, old, new: events.append((addr, field, old, new)))
+        cache.allocate(0x40, CacheState.SHARED)
+        cache.set_state(0x40, CacheState.MODIFIED)
+        assert (0x40, "state", CacheState.INVALID, CacheState.SHARED) in events
+        assert (0x40, "state", CacheState.SHARED, CacheState.MODIFIED) in events
+
+    def test_observer_sees_value_on_invalidate(self):
+        cache = make_cache()
+        events = []
+        cache.allocate(0x40, CacheState.MODIFIED, value=5)
+        cache.set_observer(lambda addr, field, old, new: events.append((field, old, new)))
+        cache.set_state(0x40, CacheState.INVALID)
+        assert ("value", 5, None) in events
+
+    def test_observer_not_called_for_noop(self):
+        cache = make_cache()
+        events = []
+        cache.allocate(0x40, CacheState.SHARED)
+        cache.set_observer(lambda *a: events.append(a))
+        cache.set_state(0x40, CacheState.SHARED)
+        assert events == []
+
+    def test_restore_field_bypasses_observer(self):
+        cache = make_cache()
+        events = []
+        cache.set_observer(lambda *a: events.append(a))
+        cache.restore_field(0x40, "state", CacheState.SHARED)
+        assert cache.get_state(0x40) == CacheState.SHARED
+        assert events == []
+
+
+class TestRestore:
+    def test_restore_round_trip(self):
+        """Replaying logged old values in reverse restores the original state."""
+        cache = make_cache()
+        log = []
+        cache.set_observer(lambda addr, field, old, new: log.append((addr, field, old)))
+        cache.allocate(0x40, CacheState.SHARED, value=1)
+        cache.set_state(0x40, CacheState.MODIFIED)
+        cache.set_value(0x40, 9)
+        cache.set_state(0x40, CacheState.INVALID)
+        cache.allocate(0x80, CacheState.MODIFIED, value=3)
+        for addr, field, old in reversed(log):
+            cache.restore_field(addr, field, old)
+        assert not cache.contains(0x40)
+        assert not cache.contains(0x80)
+        assert cache.occupancy == 0
+
+    def test_force_line(self):
+        cache = make_cache()
+        cache.force_line(0x40, CacheState.OWNED, 5)
+        assert cache.get_state(0x40) == CacheState.OWNED
+        cache.force_line(0x40, CacheState.INVALID, None)
+        assert not cache.contains(0x40)
+
+    def test_restore_unknown_field_raises(self):
+        cache = make_cache()
+        with pytest.raises(ValueError):
+            cache.restore_field(0x40, "bogus", 1)
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.integers(0, 63), st.sampled_from(list(CacheState))),
+                    min_size=1, max_size=120))
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_bounded_by_geometry(self, operations):
+        """Property: occupancy never exceeds ways*sets and no set overflows."""
+        cache = make_cache(size=1024, assoc=2, block=64)  # 8 sets x 2 ways
+        for block_index, state in operations:
+            address = block_index * 64
+            if state == CacheState.INVALID:
+                if cache.contains(address):
+                    cache.set_state(address, CacheState.INVALID)
+            else:
+                cache.allocate(address, state)
+            assert cache.occupancy <= cache.config.num_blocks
+        for set_index in range(cache.config.num_sets):
+            resident = [line for line in cache.lines()
+                        if cache.set_index(line.address) == set_index]
+            assert len(resident) <= cache.config.associativity
+
+    @given(st.lists(st.integers(0, 31), min_size=1, max_size=80))
+    @settings(max_examples=50, deadline=None)
+    def test_log_and_restore_always_round_trips(self, blocks):
+        """Property: undo-log replay restores the exact initial contents."""
+        cache = make_cache(size=2048, assoc=2, block=64)
+        # Pre-populate a known baseline.
+        cache.allocate(0, CacheState.SHARED, value=100)
+        baseline = {line.address: (line.state, line.value) for line in cache.lines()}
+        log = []
+        cache.set_observer(lambda addr, field, old, new: log.append((addr, field, old)))
+        for block_index in blocks:
+            address = block_index * 64
+            if cache.contains(address) and block_index % 3 == 0:
+                cache.set_state(address, CacheState.INVALID)
+            else:
+                cache.allocate(address, CacheState.MODIFIED, value=block_index)
+        cache.set_observer(None)
+        for addr, field, old in reversed(log):
+            cache.restore_field(addr, field, old)
+        restored = {line.address: (line.state, line.value) for line in cache.lines()}
+        assert restored == baseline

@@ -1,0 +1,167 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import EventQueue, SimulationError, Simulator
+
+
+class TestEventQueue:
+    def test_events_pop_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(30, lambda: fired.append(30))
+        queue.push(10, lambda: fired.append(10))
+        queue.push(20, lambda: fired.append(20))
+        times = []
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            times.append(event.time)
+        assert times == [10, 20, 30]
+
+    def test_same_time_events_are_fifo(self):
+        queue = EventQueue()
+        first = queue.push(5, lambda: None)
+        second = queue.push(5, lambda: None)
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_priority_breaks_ties_before_fifo(self):
+        queue = EventQueue()
+        low = queue.push(5, lambda: None, priority=1)
+        high = queue.push(5, lambda: None, priority=0)
+        assert queue.pop() is high
+        assert queue.pop() is low
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1, lambda: None)
+        keeper = queue.push(2, lambda: None)
+        queue.cancel(event)
+        assert len(queue) == 1
+        assert queue.pop() is keeper
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1, lambda: None)
+        queue.push(7, lambda: None)
+        queue.cancel(event)
+        assert queue.peek_time() == 7
+
+    def test_negative_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            queue.push(-1, lambda: None)
+
+    def test_drain_empties_queue(self):
+        queue = EventQueue()
+        for t in range(5):
+            queue.push(t, lambda: None)
+        assert len(list(queue.drain())) == 5
+        assert queue.pop() is None
+
+
+class TestSimulator:
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10, lambda: seen.append(sim.now))
+        sim.schedule(25, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [10, 25]
+        assert sim.now == 25
+
+    def test_callbacks_can_schedule_more_events(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(depth: int) -> None:
+            seen.append(sim.now)
+            if depth > 0:
+                sim.schedule(5, lambda: chain(depth - 1))
+
+        sim.schedule(0, lambda: chain(3))
+        sim.run()
+        assert seen == [0, 5, 10, 15]
+
+    def test_run_until_bound(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: fired.append("early"))
+        sim.schedule(100, lambda: fired.append("late"))
+        sim.run(until=50)
+        assert fired == ["early"]
+        assert sim.now == 50
+
+    def test_stop_terminates_run(self):
+        sim = Simulator()
+        fired = []
+
+        def first() -> None:
+            fired.append(1)
+            sim.stop()
+
+        sim.schedule(1, first)
+        sim.schedule(2, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        count = []
+        for i in range(10):
+            sim.schedule(i, lambda: count.append(1))
+        sim.run(max_events=4)
+        assert len(count) == 4
+
+    def test_cannot_schedule_in_the_past(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-5, lambda: None)
+
+    def test_cancel_prevents_callback(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(5, lambda: fired.append("no"))
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+    def test_quiesce_hook_injects_work(self):
+        sim = Simulator()
+        fired = []
+        injected = {"done": False}
+
+        def hook() -> None:
+            if not injected["done"]:
+                injected["done"] = True
+                sim.schedule(5, lambda: fired.append("late"))
+
+        sim.add_quiesce_hook(hook)
+        sim.schedule(1, lambda: fired.append("early"))
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_run_until_idle_ignores_quiesce_hooks(self):
+        sim = Simulator()
+        sim.add_quiesce_hook(lambda: sim.schedule(1, lambda: None))
+        sim.schedule(1, lambda: None)
+        sim.run_until_idle()
+        assert sim.events_executed == 1
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for i in range(7):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.events_executed == 7
