@@ -7,7 +7,8 @@ diff against EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 
 def format_table(title: str, rows: Mapping[str, Mapping[str, object]], *,
@@ -58,6 +59,33 @@ def format_figure_series(title: str, series: Mapping[str, Mapping[str, float]], 
             bar = "#" * max(0, int(round(value * 40)))
             lines.append(f"    {x_label:>24s}  {value:6.3f}  {bar}")
     return "\n".join(lines)
+
+
+def rows_from_table(rows: Mapping[str, Mapping[str, object]], *,
+                    label_field: str = "label") -> List[Dict[str, object]]:
+    """Flatten ``{row_label: {column: value}}`` into a list of row dicts.
+
+    The standard ``to_rows()`` shape for experiments whose result is already
+    a label-keyed table: each row keeps its identifying label as a field, so
+    the list round-trips through JSON without losing structure.
+    """
+    return [{label_field: label, **row} for label, row in rows.items()]
+
+
+def rows_from_series(series: Mapping[str, Mapping[str, float]], *,
+                     series_field: str = "series", x_field: str = "x",
+                     value_field: str = "value") -> List[Dict[str, object]]:
+    """Flatten figure data (``series -> x -> value``) into row dicts."""
+    return [{series_field: name, x_field: x_label, value_field: value}
+            for name, points in series.items()
+            for x_label, value in points.items()]
+
+
+def write_json_report(path: str, payload: Mapping[str, Any]) -> None:
+    """Write a machine-readable report with a stable, diff-friendly encoding."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, indent=2)
+        handle.write("\n")
 
 
 def format_counters(title: str, counters: Dict[str, int], *, prefix: str = "",

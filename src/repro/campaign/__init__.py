@@ -1,0 +1,63 @@
+"""Registry-driven experiment campaigns.
+
+The campaign layer turns the paper's evaluation grid into data plus three
+orthogonal pieces:
+
+* :mod:`repro.campaign.spec` — :class:`RunSpec`/:class:`SweepSpec` name a
+  design point (configuration + label + injector knobs) with a stable
+  content hash;
+* :mod:`repro.campaign.registry` — ``@register_experiment`` collects every
+  driver in :mod:`repro.experiments` for the runner to discover;
+* :mod:`repro.campaign.executor` — serial and process-parallel executors
+  with optional on-disk result caching, through which every simulated run
+  funnels.
+
+See EXPERIMENTS.md for the user-facing tour and DESIGN.md §4 for the
+architecture rationale.
+"""
+
+from repro.campaign.executor import (
+    Executor,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    execute_spec,
+    make_executor,
+    reset_global_ids,
+)
+from repro.campaign.registry import (
+    CampaignContext,
+    ExperimentEntry,
+    all_experiments,
+    discover,
+    experiment_names,
+    get_experiment,
+    register_experiment,
+)
+from repro.campaign.spec import (
+    RunSpec,
+    SweepSpec,
+    canonical_json,
+    config_to_dict,
+)
+
+__all__ = [
+    "CampaignContext",
+    "ExperimentEntry",
+    "Executor",
+    "ParallelExecutor",
+    "ResultCache",
+    "RunSpec",
+    "SerialExecutor",
+    "SweepSpec",
+    "all_experiments",
+    "canonical_json",
+    "config_to_dict",
+    "discover",
+    "execute_spec",
+    "experiment_names",
+    "get_experiment",
+    "make_executor",
+    "register_experiment",
+    "reset_global_ids",
+]

@@ -1,0 +1,225 @@
+"""Pluggable execution of :class:`RunSpec` batches.
+
+Every simulated run in the repository funnels through :func:`execute_spec`
+— directly via :class:`SerialExecutor`, or in worker processes via
+:class:`ParallelExecutor`.  The evaluation grid is embarrassingly parallel
+(each design point is an independent deterministic simulation), so the
+parallel executor is a plain ``ProcessPoolExecutor`` fan-out; results come
+back in *spec order*, which keeps reports byte-identical to serial runs.
+
+Both executors accept an optional :class:`ResultCache`: completed runs are
+stored on disk as :meth:`RunResult.to_json` documents keyed by the spec's
+content hash, so re-running a campaign only simulates design points whose
+configuration actually changed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.campaign.spec import RunSpec, SweepSpec
+from repro.system import build_system
+from repro.system.results import RunResult
+
+
+def reset_global_ids() -> None:
+    """Reset the process-global id counters (transactions, bus requests,
+    network messages).
+
+    Ids are only required to be unique within one run, but the counters are
+    module-global, so without a reset a run's recovery records would embed
+    ids that depend on how many runs happened earlier in the same process.
+    Resetting before every run makes each design point's result independent
+    of execution order — the property that lets serial, parallel and cached
+    execution produce byte-identical results.
+    """
+    import repro.coherence.common as coherence_common
+    import repro.coherence.snooping.bus as snooping_bus
+    import repro.interconnect.message as message
+
+    coherence_common._TRANSACTION_IDS = itertools.count()
+    snooping_bus._REQUEST_IDS = itertools.count()
+    message._MESSAGE_IDS = itertools.count()
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Run one design point from scratch and return its result.
+
+    This is the single build-and-run path: it must stay importable at module
+    level (the parallel executor ships it to worker processes by reference).
+    Note the ``is not None`` check — an explicit ``0.0`` rate attaches an
+    injector that never fires, which is a different system from one with no
+    injector at all.
+    """
+    reset_global_ids()
+    system = build_system(spec.config, label=spec.label)
+    if spec.recovery_rate_per_second is not None:
+        system.attach_recovery_injector(spec.recovery_rate_per_second)
+    return system.run(max_cycles=spec.max_cycles)
+
+
+class ResultCache:
+    """On-disk result store keyed by :meth:`RunSpec.content_hash`.
+
+    One JSON file per design point.  Writes are atomic (tempfile + rename)
+    so a cache shared between concurrently running campaigns can never hold
+    a torn entry; corrupt or unreadable entries are treated as misses.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, spec: RunSpec) -> str:
+        return os.path.join(self.root, spec.content_hash() + ".json")
+
+    def get(self, spec: RunSpec) -> Optional[RunResult]:
+        path = self.path_for(spec)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            result = RunResult.from_json(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: RunSpec, result: RunResult) -> None:
+        fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(result.to_json(), handle, sort_keys=True)
+            os.replace(tmp_path, self.path_for(spec))
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.root) if name.endswith(".json"))
+
+
+#: A batch of design points: a plain sequence or a named SweepSpec.
+SpecBatch = Union[Sequence[RunSpec], SweepSpec]
+
+
+class Executor:
+    """Base class: maps batches of specs to results, consulting the cache."""
+
+    def __init__(self, cache: Optional[ResultCache] = None) -> None:
+        self.cache = cache
+
+    # -------------------------------------------------------------- interface
+    def run(self, spec: RunSpec) -> RunResult:
+        """Run a single design point."""
+        return self.map([spec])[0]
+
+    def map(self, specs: SpecBatch) -> List[RunResult]:
+        """Run every spec in the batch and return results in spec order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any worker resources (no-op for serial execution)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # --------------------------------------------------------------- caching
+    def _lookup(self, specs: SpecBatch) -> Dict[int, RunResult]:
+        if self.cache is None:
+            return {}
+        found: Dict[int, RunResult] = {}
+        for index, spec in enumerate(specs):
+            cached = self.cache.get(spec)
+            if cached is not None:
+                found[index] = cached
+        return found
+
+    def _store(self, spec: RunSpec, result: RunResult) -> None:
+        if self.cache is not None:
+            self.cache.put(spec, result)
+
+
+class SerialExecutor(Executor):
+    """Runs every design point in-process, one after another."""
+
+    def map(self, specs: SpecBatch) -> List[RunResult]:
+        cached = self._lookup(specs)
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        for index, spec in enumerate(specs):
+            if index in cached:
+                results[index] = cached[index]
+                continue
+            result = execute_spec(spec)
+            self._store(spec, result)
+            results[index] = result
+        return results  # type: ignore[return-value]
+
+
+class ParallelExecutor(Executor):
+    """Fans design points out to a ``ProcessPoolExecutor``.
+
+    Worker processes are spawned lazily on the first :meth:`map` call and
+    reused across batches; use the executor as a context manager (or call
+    :meth:`close`) to shut them down.  Because :func:`execute_spec` resets
+    the global id counters, a worker's results do not depend on which specs
+    it happened to run before — serial and parallel execution are
+    byte-identical.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 cache: Optional[ResultCache] = None) -> None:
+        super().__init__(cache=cache)
+        self.max_workers = max_workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def map(self, specs: SpecBatch) -> List[RunResult]:
+        cached = self._lookup(specs)
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        pending = [(index, spec) for index, spec in enumerate(specs)
+                   if index not in cached]
+        for index, result in cached.items():
+            results[index] = result
+        if pending:
+            pool = self._ensure_pool()
+            futures = [(index, pool.submit(execute_spec, spec))
+                       for index, spec in pending]
+            for (index, future), (_, spec) in zip(futures, pending):
+                result = future.result()
+                self._store(spec, result)
+                results[index] = result
+        return results  # type: ignore[return-value]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def make_executor(parallel: int = 0,
+                  cache_dir: Optional[str] = None) -> Executor:
+    """Build the executor the runner CLI asks for.
+
+    ``parallel <= 1`` yields a :class:`SerialExecutor`; anything larger a
+    :class:`ParallelExecutor` with that many workers.
+    """
+    cache = ResultCache(cache_dir) if cache_dir else None
+    if parallel and parallel > 1:
+        return ParallelExecutor(max_workers=parallel, cache=cache)
+    return SerialExecutor(cache=cache)

@@ -1,0 +1,99 @@
+"""The experiment registry.
+
+Every driver module under :mod:`repro.experiments` registers itself with
+:func:`register_experiment`; the runner then discovers the full campaign by
+importing the package's modules (:func:`discover`) instead of maintaining a
+hard-coded import list.  Adding a new table/figure to the evaluation is now:
+write a driver module, decorate its campaign entry point, done — the runner,
+the ``--only``/``--list`` flags and the JSON report pick it up automatically.
+
+A registered entry point receives a :class:`CampaignContext` — the shared
+executor plus the workload-subset/reference-count knobs — and returns a
+result object exposing ``format()`` (the human report section),
+``to_rows()`` (flat row dicts) and ``to_json()`` (a JSON-safe payload).
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.campaign.executor import Executor, SerialExecutor
+
+#: Modules in the experiments package that are infrastructure, not drivers.
+_NON_DRIVER_MODULES = frozenset({"common", "runner"})
+
+
+@dataclass
+class CampaignContext:
+    """Everything a registered experiment needs to run.
+
+    ``workloads=None`` means "every workload" (each driver resolves it via
+    :func:`repro.experiments.common.default_workloads`).
+    """
+
+    executor: Executor = field(default_factory=SerialExecutor)
+    workloads: Optional[List[str]] = None
+    references: int = 400
+    quick: bool = False
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One registered experiment: identity, report order and entry point."""
+
+    name: str
+    title: str
+    order: int
+    runner: Callable[[CampaignContext], Any]
+
+
+_REGISTRY: Dict[str, ExperimentEntry] = {}
+
+
+def register_experiment(name: str, *, title: str, order: int):
+    """Class/function decorator registering a campaign entry point.
+
+    ``name`` is the CLI handle (``--only NAME``); ``title`` the
+    human-readable description shown by ``--list``; ``order`` fixes the
+    report section order (the paper's table/figure order).
+    """
+    def decorate(runner: Callable[[CampaignContext], Any]):
+        if name in _REGISTRY:
+            raise ValueError(f"experiment {name!r} registered twice")
+        _REGISTRY[name] = ExperimentEntry(name=name, title=title, order=order,
+                                          runner=runner)
+        return runner
+    return decorate
+
+
+def discover(package: str = "repro.experiments") -> None:
+    """Import every driver module in ``package`` so decorators run.
+
+    Idempotent: already-imported modules are returned from ``sys.modules``
+    and re-registration never happens.
+    """
+    pkg = importlib.import_module(package)
+    for info in pkgutil.iter_modules(pkg.__path__):
+        if info.name in _NON_DRIVER_MODULES or info.name.startswith("_"):
+            continue
+        importlib.import_module(f"{package}.{info.name}")
+
+
+def all_experiments() -> List[ExperimentEntry]:
+    """Every registered experiment, in report order."""
+    return sorted(_REGISTRY.values(), key=lambda entry: (entry.order, entry.name))
+
+
+def experiment_names() -> List[str]:
+    return [entry.name for entry in all_experiments()]
+
+
+def get_experiment(name: str) -> ExperimentEntry:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(experiment_names()) or "<none discovered>"
+        raise KeyError(f"unknown experiment {name!r}; known: {known}") from None

@@ -64,6 +64,28 @@ class MisspeculationEvent:
     description: str = ""
     details: Dict[str, Any] = field(default_factory=dict)
 
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-safe payload (inverse of :meth:`from_json`)."""
+        return {
+            "kind": self.kind.value,
+            "detected_at": self.detected_at,
+            "node": self.node,
+            "address": self.address,
+            "description": self.description,
+            "details": dict(self.details),
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "MisspeculationEvent":
+        return cls(
+            kind=SpeculationKind(payload["kind"]),
+            detected_at=payload["detected_at"],
+            node=payload.get("node"),
+            address=payload.get("address"),
+            description=payload.get("description", ""),
+            details=dict(payload.get("details", {})),
+        )
+
 
 @dataclass
 class RecoveryRecord:
@@ -81,3 +103,27 @@ class RecoveryRecord:
     def total_cost_cycles(self) -> int:
         """Cycles of forward progress sacrificed by this recovery."""
         return (self.resumed_at - self.started_at) + self.work_lost_cycles
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-safe payload (inverse of :meth:`from_json`)."""
+        return {
+            "event": self.event.to_json(),
+            "started_at": self.started_at,
+            "recovery_point": self.recovery_point,
+            "resumed_at": self.resumed_at,
+            "work_lost_cycles": self.work_lost_cycles,
+            "messages_squashed": self.messages_squashed,
+            "log_entries_undone": self.log_entries_undone,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "RecoveryRecord":
+        return cls(
+            event=MisspeculationEvent.from_json(payload["event"]),
+            started_at=payload["started_at"],
+            recovery_point=payload["recovery_point"],
+            resumed_at=payload["resumed_at"],
+            work_lost_cycles=payload["work_lost_cycles"],
+            messages_squashed=payload["messages_squashed"],
+            log_entries_undone=payload["log_entries_undone"],
+        )

@@ -1,8 +1,17 @@
 """Experiment drivers: one module per table/figure of the paper's evaluation.
 
-Every driver exposes a ``run(...)`` function returning a plain dataclass or
-dict of rows, plus a ``main()`` usable from the command line.  The benchmark
-harness under ``benchmarks/`` calls these same drivers so that the numbers
-printed by ``pytest benchmarks/ --benchmark-only`` and by the standalone
-scripts are identical.
+Every driver exposes a ``run(...)`` function returning a result dataclass
+with ``format()`` (text report section), ``to_rows()`` (flat row dicts) and
+``to_json()`` (machine-readable payload), plus a ``main()`` usable from the
+command line.  Each module also registers a campaign entry point with
+:func:`repro.campaign.register_experiment`; the runner discovers drivers
+through that registry rather than an import list, so adding an experiment
+is just adding a module.  The benchmark harness under ``benchmarks/`` calls
+these same drivers so that the numbers printed by
+``pytest benchmarks/ --benchmark-only`` and by the standalone scripts are
+identical.
+
+Sweep-style drivers accept an ``executor=`` argument (see
+:mod:`repro.campaign.executor`) and batch their independent design points
+through it, which is what makes ``runner --parallel N`` effective.
 """

@@ -15,12 +15,19 @@ and reports normalized performance and deadlock-recovery counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import normalized_performance
-from repro.analysis.report import format_table
+from repro.analysis.report import format_table, rows_from_table
+from repro.campaign.executor import Executor
+from repro.campaign.registry import CampaignContext, register_experiment
+from repro.campaign.spec import RunSpec, SweepSpec
 from repro.core.events import SpeculationKind
-from repro.experiments.common import benchmark_config, default_workloads, run_config
+from repro.experiments.common import (
+    benchmark_config,
+    default_workloads,
+    run_specs,
+)
 from repro.sim.config import ProtocolVariant, RoutingPolicy
 
 #: Buffer sizes swept (messages per shared input buffer).
@@ -42,24 +49,58 @@ class BufferSweepResult:
             columns=["buffer size", "normalized perf", "deadlock recoveries",
                      "finished"])
 
+    def to_rows(self) -> List[Dict[str, object]]:
+        return rows_from_table(self.rows, label_field="point")
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"rows": self.to_rows()}
+
 
 def run(workloads: Optional[Iterable[str]] = None,
         buffer_sizes: Sequence[int] = DEFAULT_BUFFER_SIZES, *,
         references: int = 300, seed: int = 3,
-        include_vc_reference: bool = True) -> BufferSweepResult:
-    """Run the buffer sweep for each workload."""
+        include_vc_reference: bool = True,
+        executor: Optional[Executor] = None) -> BufferSweepResult:
+    """Run the buffer sweep for each workload.
+
+    Two executor phases: every workload's worst-case-buffering baseline
+    first (the swept runs' cycle bound depends on the baseline runtime),
+    then the VC reference plus every swept buffer size in one batch.
+    """
     result = BufferSweepResult()
-    for workload in default_workloads(workloads):
-        baseline = run_config(benchmark_config(
+    names = default_workloads(workloads)
+
+    def no_vc_config(workload: str, capacity: int):
+        return benchmark_config(
             workload, seed=seed, references=references,
             variant=ProtocolVariant.SPECULATIVE, routing=RoutingPolicy.STATIC,
-            speculative_no_vc=True, switch_buffer_capacity=WORST_CASE_BUFFER),
-            label="worst-case-buffering")
+            speculative_no_vc=True, switch_buffer_capacity=capacity)
+
+    baselines = run_specs(SweepSpec.of("buffer-sweep-baselines", [
+        RunSpec(config=no_vc_config(w, WORST_CASE_BUFFER),
+                label="worst-case-buffering") for w in names]),
+        executor=executor)
+
+    sweep_specs: List[RunSpec] = []
+    sweep_keys: List[Tuple[str, object]] = []
+    for workload, baseline in zip(names, baselines):
         if include_vc_reference:
-            vc = run_config(benchmark_config(
+            sweep_specs.append(RunSpec(config=benchmark_config(
                 workload, seed=seed, references=references,
                 variant=ProtocolVariant.SPECULATIVE, routing=RoutingPolicy.STATIC,
-                speculative_no_vc=False), label="virtual-channels")
+                speculative_no_vc=False), label="virtual-channels"))
+            sweep_keys.append((workload, "vc"))
+        for size in buffer_sizes:
+            sweep_specs.append(RunSpec(
+                config=no_vc_config(workload, size), label=f"no-vc-buf{size}",
+                max_cycles=12 * baseline.runtime_cycles))
+            sweep_keys.append((workload, size))
+    swept_results = dict(zip(sweep_keys, run_specs(
+        SweepSpec.of("buffer-sweep-points", sweep_specs), executor=executor)))
+
+    for workload, baseline in zip(names, baselines):
+        if include_vc_reference:
+            vc = swept_results[(workload, "vc")]
             result.rows[f"{workload} vc-network"] = {
                 "buffer size": "VC (2/vnet)",
                 "normalized perf": normalized_performance(vc, baseline),
@@ -68,12 +109,7 @@ def run(workloads: Optional[Iterable[str]] = None,
                 "finished": vc.finished,
             }
         for size in buffer_sizes:
-            swept = run_config(benchmark_config(
-                workload, seed=seed, references=references,
-                variant=ProtocolVariant.SPECULATIVE, routing=RoutingPolicy.STATIC,
-                speculative_no_vc=True, switch_buffer_capacity=size),
-                label=f"no-vc-buf{size}",
-                max_cycles=12 * baseline.runtime_cycles)
+            swept = swept_results[(workload, size)]
             result.rows[f"{workload} buf={size}"] = {
                 "buffer size": size,
                 "normalized perf": normalized_performance(swept, baseline),
@@ -82,6 +118,16 @@ def run(workloads: Optional[Iterable[str]] = None,
                 "finished": swept.finished,
             }
     return result
+
+
+@register_experiment("buffer_sweep",
+                     title="No-VC network buffer sweep (Section 5.3)", order=110)
+def campaign_run(ctx: CampaignContext) -> BufferSweepResult:
+    # Full campaigns sweep oltp only (the paper's representative workload);
+    # quick mode reuses the reduced subset the other experiments run.
+    workloads = ctx.workloads if ctx.workloads else ["oltp"]
+    return run(workloads, references=max(200, ctx.references // 2),
+               executor=ctx.executor)
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

@@ -14,9 +14,10 @@ Two presets are provided:
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, Iterable, List, Optional
 
+from repro.campaign.executor import Executor, SerialExecutor, SpecBatch
+from repro.campaign.spec import RunSpec
 from repro.sim.config import (
     CacheConfig,
     CheckpointConfig,
@@ -28,7 +29,6 @@ from repro.sim.config import (
     SystemConfig,
     WorkloadConfig,
 )
-from repro.system import build_system
 from repro.system.results import RunResult
 from repro.workloads import workload_names
 
@@ -89,14 +89,41 @@ def benchmark_config(workload: str = "jbb", *, seed: int = 1,
     )
 
 
+#: Executor used when a caller does not supply one (plain in-process runs).
+_DEFAULT_EXECUTOR = SerialExecutor()
+
+
+def resolve_executor(executor: Optional[Executor]) -> Executor:
+    """The executor to route runs through (the shared serial default)."""
+    return executor if executor is not None else _DEFAULT_EXECUTOR
+
+
+def run_spec(spec: RunSpec, *, executor: Optional[Executor] = None) -> RunResult:
+    """Run one design point through the campaign executor layer."""
+    return resolve_executor(executor).run(spec)
+
+
+def run_specs(specs: SpecBatch, *,
+              executor: Optional[Executor] = None) -> List[RunResult]:
+    """Run a batch of design points (a list or a named :class:`SweepSpec`);
+    results come back in spec order."""
+    return resolve_executor(executor).map(specs)
+
+
 def run_config(config: SystemConfig, *, label: Optional[str] = None,
                recovery_rate_per_second: Optional[float] = None,
-               max_cycles: Optional[int] = None) -> RunResult:
-    """Build and run one system, optionally with the Figure 4 injector."""
-    system = build_system(config, label=label)
-    if recovery_rate_per_second:
-        system.attach_recovery_injector(recovery_rate_per_second)
-    return system.run(max_cycles=max_cycles)
+               max_cycles: Optional[int] = None,
+               executor: Optional[Executor] = None) -> RunResult:
+    """Build and run one system, optionally with the Figure 4 injector.
+
+    ``recovery_rate_per_second=None`` means no injector; an explicit ``0.0``
+    attaches an injector that never fires (the Figure 4 zero-rate control) —
+    the two are deliberately distinct.
+    """
+    spec = RunSpec(config=config, label=label,
+                   recovery_rate_per_second=recovery_rate_per_second,
+                   max_cycles=max_cycles)
+    return run_spec(spec, executor=executor)
 
 
 def default_workloads(subset: Optional[Iterable[str]] = None) -> List[str]:

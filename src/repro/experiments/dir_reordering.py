@@ -15,10 +15,17 @@ This driver measures the same quantities across a link-bandwidth sweep.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-from repro.analysis.report import format_table
-from repro.experiments.common import benchmark_config, default_workloads, run_config
+from repro.analysis.report import format_table, rows_from_table
+from repro.campaign.executor import Executor
+from repro.campaign.registry import CampaignContext, register_experiment
+from repro.campaign.spec import RunSpec, SweepSpec
+from repro.experiments.common import (
+    benchmark_config,
+    default_workloads,
+    run_specs,
+)
 from repro.sim.config import ProtocolVariant, RoutingPolicy
 
 #: Link bandwidths of the paper's sweep (400 MB/s .. 3.2 GB/s).
@@ -39,32 +46,55 @@ class ReorderingResult:
             columns=["link MB/s", "reorder % (fwd-req VN)", "reorder % (other VNs)",
                      "recoveries", "mean link util %"])
 
+    def to_rows(self) -> List[Dict[str, object]]:
+        return rows_from_table(self.rows, label_field="point")
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"rows": self.to_rows()}
+
 
 def run(workloads: Optional[Iterable[str]] = None,
         bandwidths: Sequence[float] = DEFAULT_BANDWIDTHS, *,
-        references: int = 400, seed: int = 1) -> ReorderingResult:
-    """Measure reorder rates, recoveries and link utilisation."""
+        references: int = 400, seed: int = 1,
+        executor: Optional[Executor] = None) -> ReorderingResult:
+    """Measure reorder rates, recoveries and link utilisation.
+
+    Every (workload, bandwidth) design point is independent, so the whole
+    grid goes to the executor as one batch.
+    """
     result = ReorderingResult()
-    for workload in default_workloads(workloads):
-        for bandwidth in bandwidths:
-            run_result = run_config(benchmark_config(
-                workload, seed=seed, references=references,
-                variant=ProtocolVariant.SPECULATIVE,
-                routing=RoutingPolicy.ADAPTIVE,
-                link_bandwidth=bandwidth), label="speculative-adaptive")
-            fwd = run_result.reorder_rate_by_vnet.get("FORWARDED_REQUEST", 0.0)
-            others = [rate for name, rate in run_result.reorder_rate_by_vnet.items()
-                      if name != "FORWARDED_REQUEST"]
-            other_max = max(others) if others else 0.0
-            key = f"{workload} @ {bandwidth / 1e6:.0f} MB/s"
-            result.rows[key] = {
-                "link MB/s": bandwidth / 1e6,
-                "reorder % (fwd-req VN)": 100.0 * fwd,
-                "reorder % (other VNs)": 100.0 * other_max,
-                "recoveries": run_result.recoveries,
-                "mean link util %": 100.0 * run_result.mean_link_utilization,
-            }
+    names = default_workloads(workloads)
+    points = [(workload, bandwidth) for workload in names
+              for bandwidth in bandwidths]
+    sweep = SweepSpec.of("dir-reordering-grid", [
+        RunSpec(config=benchmark_config(
+            workload, seed=seed, references=references,
+            variant=ProtocolVariant.SPECULATIVE,
+            routing=RoutingPolicy.ADAPTIVE,
+            link_bandwidth=bandwidth), label="speculative-adaptive")
+        for workload, bandwidth in points])
+    for (workload, bandwidth), run_result in zip(points,
+                                                 run_specs(sweep, executor=executor)):
+        fwd = run_result.reorder_rate_by_vnet.get("FORWARDED_REQUEST", 0.0)
+        others = [rate for name, rate in run_result.reorder_rate_by_vnet.items()
+                  if name != "FORWARDED_REQUEST"]
+        other_max = max(others) if others else 0.0
+        key = f"{workload} @ {bandwidth / 1e6:.0f} MB/s"
+        result.rows[key] = {
+            "link MB/s": bandwidth / 1e6,
+            "reorder % (fwd-req VN)": 100.0 * fwd,
+            "reorder % (other VNs)": 100.0 * other_max,
+            "recoveries": run_result.recoveries,
+            "mean link util %": 100.0 * run_result.mean_link_utilization,
+        }
     return result
+
+
+@register_experiment("dir_reordering",
+                     title="Directory protocol reordering/recovery rates",
+                     order=90)
+def campaign_run(ctx: CampaignContext) -> ReorderingResult:
+    return run(ctx.workloads, references=ctx.references, executor=ctx.executor)
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

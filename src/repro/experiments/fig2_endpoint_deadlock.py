@@ -13,8 +13,9 @@ recovery path instead.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Any, Dict, List
 
+from repro.campaign.registry import CampaignContext, register_experiment
 from repro.interconnect.buffers import FiniteBuffer
 from repro.interconnect.deadlock import DeadlockReport, detect_endpoint_deadlock
 
@@ -33,6 +34,19 @@ class Fig2Result:
             f"cycle={self.shared_queue_deadlock.cycle}",
             f"  per-class virtual nets : deadlock={self.virtual_network_deadlock.deadlocked}",
         ])
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        return [
+            {"design": "shared-queues",
+             "deadlocked": self.shared_queue_deadlock.deadlocked,
+             "cycle": [str(n) for n in self.shared_queue_deadlock.cycle]},
+            {"design": "virtual-networks",
+             "deadlocked": self.virtual_network_deadlock.deadlocked,
+             "cycle": [str(n) for n in self.virtual_network_deadlock.cycle]},
+        ]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"rows": self.to_rows()}
 
 
 def _fill_with_requests(buffer: FiniteBuffer, source: str) -> None:
@@ -75,6 +89,13 @@ def run(*, queue_capacity: int = 4) -> Fig2Result:
 
     return Fig2Result(shared_queue_deadlock=shared_report,
                       virtual_network_deadlock=vn_report)
+
+
+@register_experiment("fig2", title="Figure 2: endpoint deadlock reconstruction",
+                     order=50)
+def campaign_run(ctx: CampaignContext) -> Fig2Result:
+    """Analytic reconstruction on finite buffers; no simulation runs."""
+    return run()
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

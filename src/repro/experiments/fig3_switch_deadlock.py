@@ -13,7 +13,9 @@ cycle.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Dict, List
 
+from repro.campaign.registry import CampaignContext, register_experiment
 from repro.interconnect.deadlock import DeadlockReport, detect_network_deadlock
 from repro.interconnect.message import MessageClass
 from repro.interconnect.network import TorusNetwork, make_message
@@ -46,6 +48,21 @@ class Fig3Result:
             f"  virtual channels    : delivered {self.vc_delivered}/{self.vc_sent}, "
             f"wait-for cycle={self.vc_report.deadlocked}",
         ])
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        return [
+            {"network": "no-vc", "delivered": self.no_vc_delivered,
+             "sent": self.no_vc_sent, "deadlocked": self.no_vc_report.deadlocked,
+             "blocked_resources": self.no_vc_report.blocked_resources,
+             "wedged": self.no_vc_wedged},
+            {"network": "vc", "delivered": self.vc_delivered,
+             "sent": self.vc_sent, "deadlocked": self.vc_report.deadlocked,
+             "blocked_resources": self.vc_report.blocked_resources,
+             "wedged": self.vc_delivered < self.vc_sent},
+        ]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"rows": self.to_rows()}
 
 
 def _run_one(*, speculative_no_vc: bool, messages: int, buffer_capacity: int):
@@ -95,6 +112,13 @@ def run(*, messages: int = 40, buffer_capacity: int = 2) -> Fig3Result:
     return Fig3Result(no_vc_report=no_vc_report, no_vc_delivered=no_vc_delivered,
                       no_vc_sent=no_vc_sent, vc_report=vc_report,
                       vc_delivered=vc_delivered, vc_sent=vc_sent)
+
+
+@register_experiment("fig3", title="Figure 3: switch deadlock reconstruction",
+                     order=60)
+def campaign_run(ctx: CampaignContext) -> Fig3Result:
+    """Raw-network scenario on a two-switch torus; fixed size in all modes."""
+    return run()
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

@@ -10,11 +10,18 @@ almost never trigger recoveries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.analysis.metrics import normalized_performance
 from repro.analysis.report import format_figure_series
-from repro.experiments.common import benchmark_config, default_workloads, run_config
+from repro.campaign.executor import Executor
+from repro.campaign.registry import CampaignContext, register_experiment
+from repro.campaign.spec import RunSpec, SweepSpec
+from repro.experiments.common import (
+    benchmark_config,
+    default_workloads,
+    run_specs,
+)
 from repro.sim.config import ProtocolVariant, RoutingPolicy
 
 
@@ -36,21 +43,38 @@ class Fig5Result:
             "Figure 5: static vs adaptive routing (400 MB/s links)",
             self.normalized)
 
+    def to_rows(self) -> List[Dict[str, object]]:
+        return [{"workload": workload,
+                 "normalized_adaptive": points["adaptive"],
+                 "adaptive_recoveries": self.adaptive_recoveries[workload],
+                 "adaptive_reorder_rate": self.adaptive_reorder_rate[workload],
+                 "static_link_utilization": self.static_link_utilization[workload]}
+                for workload, points in self.normalized.items()]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"rows": self.to_rows()}
+
 
 def run(workloads: Optional[Iterable[str]] = None, *,
         references: int = 400, seed: int = 1,
-        link_bandwidth: float = 400e6) -> Fig5Result:
-    """Run the Figure 5 comparison."""
+        link_bandwidth: float = 400e6,
+        executor: Optional[Executor] = None) -> Fig5Result:
+    """Run the Figure 5 comparison (one batch: static and adaptive per workload)."""
     result = Fig5Result()
-    for workload in default_workloads(workloads):
-        static = run_config(benchmark_config(
+    names = default_workloads(workloads)
+
+    def spec_for(workload: str, routing: RoutingPolicy) -> RunSpec:
+        return RunSpec(config=benchmark_config(
             workload, seed=seed, references=references,
-            variant=ProtocolVariant.SPECULATIVE, routing=RoutingPolicy.STATIC,
-            link_bandwidth=link_bandwidth), label="static")
-        adaptive = run_config(benchmark_config(
-            workload, seed=seed, references=references,
-            variant=ProtocolVariant.SPECULATIVE, routing=RoutingPolicy.ADAPTIVE,
-            link_bandwidth=link_bandwidth), label="adaptive")
+            variant=ProtocolVariant.SPECULATIVE, routing=routing,
+            link_bandwidth=link_bandwidth), label=routing.value)
+
+    sweep = SweepSpec.of("fig5-routing-grid", [
+        spec_for(w, routing) for w in names
+        for routing in (RoutingPolicy.STATIC, RoutingPolicy.ADAPTIVE)])
+    results = run_specs(sweep, executor=executor)
+    for index, workload in enumerate(names):
+        static, adaptive = results[2 * index], results[2 * index + 1]
         result.normalized[workload] = {
             "static": 1.0,
             "adaptive": normalized_performance(adaptive, static),
@@ -59,6 +83,11 @@ def run(workloads: Optional[Iterable[str]] = None, *,
         result.adaptive_reorder_rate[workload] = adaptive.reorder_rate_overall
         result.static_link_utilization[workload] = static.mean_link_utilization
     return result
+
+
+@register_experiment("fig5", title="Figure 5: static vs adaptive routing", order=80)
+def campaign_run(ctx: CampaignContext) -> Fig5Result:
+    return run(ctx.workloads, references=ctx.references, executor=ctx.executor)
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

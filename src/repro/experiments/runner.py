@@ -1,70 +1,151 @@
-"""Run every experiment and print (or save) a combined report.
+"""Run the experiment campaign and print (or save) a combined report.
 
 ``python -m repro.experiments.runner`` regenerates every table and figure of
-the paper's evaluation in one go, using the benchmark preset.  Pass
-``--quick`` to use a reduced workload subset for a fast smoke run, and
-``--output PATH`` to also write the report to a file.
+the paper's evaluation in one go, using the benchmark preset.  The runner is
+registry-driven: it discovers every ``@register_experiment`` driver in
+:mod:`repro.experiments` instead of maintaining an import list, so new
+experiments appear here (and in ``--list``/``--only``/``--json``)
+automatically.
+
+Flags:
+
+* ``--quick`` — reduced workload subset for a fast smoke run.
+* ``--parallel N`` — fan independent design points out to ``N`` worker
+  processes; the report is byte-identical to a serial run.
+* ``--only NAME`` (repeatable) — run a subset of experiments.
+* ``--list`` — show registered experiments and exit.
+* ``--json PATH`` — also write a schema-stable machine-readable results file.
+* ``--cache DIR`` — reuse on-disk cached results keyed by design-point hash.
+* ``--output PATH`` — also write the text report to a file.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.experiments import (
-    buffer_sweep,
-    dir_reordering,
-    fig1_reordering_demo,
-    fig2_endpoint_deadlock,
-    fig3_switch_deadlock,
-    fig4_misspeculation_rate,
-    fig5_adaptive_routing,
-    snooping_cornercase,
-    table1_framework,
-    table2_parameters,
-    table3_workloads,
+from repro.campaign import (
+    CampaignContext,
+    Executor,
+    all_experiments,
+    discover,
+    experiment_names,
+    make_executor,
 )
+from repro.analysis.report import write_json_report
+
+#: Separator between report sections (one per experiment).
+SECTION_SEPARATOR = "\n\n" + "=" * 78 + "\n\n"
+
+#: Schema tag of the ``--json`` report.
+REPORT_SCHEMA = "repro.campaign.report/v1"
 
 
-def run_all(*, quick: bool = False) -> str:
-    """Run every experiment driver and return the combined report text."""
-    workloads = ["jbb", "oltp"] if quick else None
-    references = 250 if quick else 400
-    sections: List[str] = []
+def build_context(*, quick: bool = False,
+                  executor: Optional[Executor] = None) -> CampaignContext:
+    """The standard campaign context for full and quick runs."""
+    return CampaignContext(
+        executor=executor if executor is not None else make_executor(),
+        workloads=["jbb", "oltp"] if quick else None,
+        references=250 if quick else 400,
+        quick=quick,
+    )
 
-    sections.append(table1_framework.run().format())
-    sections.append(table2_parameters.run().format())
-    sections.append(table3_workloads.run().format())
-    sections.append(fig1_reordering_demo.run().format())
-    sections.append(fig2_endpoint_deadlock.run().format())
-    sections.append(fig3_switch_deadlock.run().format())
-    sections.append(fig4_misspeculation_rate.run(
-        workloads, references=references).format())
-    sections.append(fig5_adaptive_routing.run(
-        workloads, references=references).format())
-    sections.append(dir_reordering.run(
-        workloads, references=references).format())
-    sections.append(snooping_cornercase.run(
-        workloads, references=references).format())
-    sections.append(buffer_sweep.run(
-        workloads if workloads else ["oltp"], references=max(200, references // 2)).format())
 
-    return ("\n\n" + "=" * 78 + "\n\n").join(sections)
+def run_campaign(*, quick: bool = False, executor: Optional[Executor] = None,
+                 only: Optional[List[str]] = None) -> Dict[str, object]:
+    """Run registered experiments and return ``{name: result}`` in report order."""
+    discover()
+    known = experiment_names()
+    if only:
+        unknown = [name for name in only if name not in known]
+        if unknown:
+            raise ValueError(f"unknown experiments {unknown}; available {known}")
+    context = build_context(quick=quick, executor=executor)
+    results: Dict[str, object] = {}
+    for entry in all_experiments():
+        if only and entry.name not in only:
+            continue
+        results[entry.name] = entry.runner(context)
+    return results
+
+
+def report_text(results: Dict[str, object]) -> str:
+    """The combined human-readable report."""
+    return SECTION_SEPARATOR.join(result.format() for result in results.values())
+
+
+def report_json(results: Dict[str, object], *, quick: bool = False) -> Dict[str, object]:
+    """The machine-readable campaign report (stable schema)."""
+    return {
+        "schema": REPORT_SCHEMA,
+        "quick": quick,
+        "experiments": {name: result.to_json() for name, result in results.items()},
+    }
+
+
+def run_all(*, quick: bool = False, executor: Optional[Executor] = None,
+            only: Optional[List[str]] = None) -> str:
+    """Run the campaign and return the combined report text."""
+    return report_text(run_campaign(quick=quick, executor=executor, only=only))
+
+
+def _list_experiments() -> str:
+    discover()
+    lines = ["Registered experiments (report order):"]
+    for entry in all_experiments():
+        lines.append(f"  {entry.name:<20s} {entry.title}")
+    return "\n".join(lines)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="use a reduced workload subset")
+    parser.add_argument("--parallel", type=int, default=0, metavar="N",
+                        help="run independent design points on N worker processes")
+    parser.add_argument("--only", action="append", default=None, metavar="EXPERIMENT",
+                        help="run only this experiment (repeatable); see --list")
+    parser.add_argument("--list", action="store_true", dest="list_experiments",
+                        help="list registered experiments and exit")
+    parser.add_argument("--json", type=str, default=None, metavar="PATH",
+                        help="also write a machine-readable results file")
+    parser.add_argument("--cache", type=str, default=None, metavar="DIR",
+                        help="cache results on disk keyed by design-point hash")
     parser.add_argument("--output", type=str, default=None,
-                        help="also write the report to this file")
+                        help="also write the text report to this file")
     args = parser.parse_args(argv)
-    report = run_all(quick=args.quick)
+
+    if args.list_experiments:
+        print(_list_experiments())
+        return 0
+
+    # Fail on bad arguments *before* running the (possibly hour-long)
+    # campaign, not after; a crash mid-campaign keeps its traceback.
+    for path in (args.output, args.json):
+        if path:
+            parent = os.path.dirname(path) or "."
+            if not os.path.isdir(parent):
+                parser.error(f"output directory does not exist: {parent}")
+    if args.only:
+        discover()
+        known = experiment_names()
+        unknown = [name for name in args.only if name not in known]
+        if unknown:
+            parser.error(f"unknown experiments {unknown}; available {known}")
+
+    with make_executor(args.parallel, cache_dir=args.cache) as executor:
+        results = run_campaign(quick=args.quick, executor=executor,
+                               only=args.only)
+    report = report_text(results)
     print(report)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")
+    if args.json:
+        write_json_report(args.json, report_json(results, quick=args.quick))
     return 0
 
 

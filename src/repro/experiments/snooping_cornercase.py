@@ -13,12 +13,19 @@ recoveries and performance parity between the two variants.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.analysis.metrics import normalized_performance
-from repro.analysis.report import format_table
+from repro.analysis.report import format_table, rows_from_table
+from repro.campaign.executor import Executor
+from repro.campaign.registry import CampaignContext, register_experiment
+from repro.campaign.spec import RunSpec, SweepSpec
 from repro.core.events import SpeculationKind
-from repro.experiments.common import benchmark_config, default_workloads, run_config
+from repro.experiments.common import (
+    benchmark_config,
+    default_workloads,
+    run_specs,
+)
 from repro.sim.config import ProtocolKind, ProtocolVariant
 
 
@@ -35,20 +42,32 @@ class SnoopingResult:
             columns=["corner-case recoveries", "all recoveries",
                      "normalized perf vs full", "bus requests"])
 
+    def to_rows(self) -> List[Dict[str, object]]:
+        return rows_from_table(self.rows, label_field="workload")
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"rows": self.to_rows()}
+
 
 def run(workloads: Optional[Iterable[str]] = None, *,
-        references: int = 400, seed: int = 1) -> SnoopingResult:
+        references: int = 400, seed: int = 1,
+        executor: Optional[Executor] = None) -> SnoopingResult:
     """Compare the speculative snooping protocol against the full variant."""
     result = SnoopingResult()
-    for workload in default_workloads(workloads):
-        full = run_config(benchmark_config(
+    names = default_workloads(workloads)
+
+    def spec_for(workload: str, variant: ProtocolVariant) -> RunSpec:
+        return RunSpec(config=benchmark_config(
             workload, seed=seed, references=references,
-            protocol=ProtocolKind.SNOOPING,
-            variant=ProtocolVariant.FULL), label="snooping-full")
-        spec = run_config(benchmark_config(
-            workload, seed=seed, references=references,
-            protocol=ProtocolKind.SNOOPING,
-            variant=ProtocolVariant.SPECULATIVE), label="snooping-speculative")
+            protocol=ProtocolKind.SNOOPING, variant=variant),
+            label=f"snooping-{variant.value}")
+
+    sweep = SweepSpec.of("snooping-variants", [
+        spec_for(w, variant) for w in names
+        for variant in (ProtocolVariant.FULL, ProtocolVariant.SPECULATIVE)])
+    results = run_specs(sweep, executor=executor)
+    for index, workload in enumerate(names):
+        full, spec = results[2 * index], results[2 * index + 1]
         result.rows[workload] = {
             "corner-case recoveries": spec.recoveries_of(
                 SpeculationKind.SNOOPING_CORNER_CASE),
@@ -57,6 +76,12 @@ def run(workloads: Optional[Iterable[str]] = None, *,
             "bus requests": spec.messages_delivered,
         }
     return result
+
+
+@register_experiment("snooping_cornercase",
+                     title="Speculative snooping protocol corner case", order=100)
+def campaign_run(ctx: CampaignContext) -> SnoopingResult:
+    return run(ctx.workloads, references=ctx.references, executor=ctx.executor)
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

@@ -12,9 +12,10 @@ not just prose.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Any, Dict, List
 
-from repro.analysis.report import format_table
+from repro.analysis.report import format_table, rows_from_table
+from repro.campaign.registry import CampaignContext, register_experiment
 from repro.core.catalog import TABLE1_MECHANISMS, table1_rows
 from repro.core.events import SpeculationKind
 from repro.core.forward_progress import NoOpPolicy
@@ -35,6 +36,12 @@ class Table1Result:
         checks = "\n".join(f"  wired[{kind}] = {ok}"
                            for kind, ok in self.wiring_ok.items())
         return table + "\n\nImplementation wiring checks:\n" + checks
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        return rows_from_table(self.rows, label_field="feature")
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"rows": self.to_rows(), "wiring_ok": dict(self.wiring_ok)}
 
 
 def _policy_registered(system, kind: SpeculationKind) -> bool:
@@ -59,6 +66,13 @@ def run() -> Table1Result:
         snooping, SpeculationKind.SNOOPING_CORNER_CASE)
 
     return Table1Result(rows=table1_rows(), wiring_ok=wiring)
+
+
+@register_experiment("table1", title="Table 1: speculation framework characterisation",
+                     order=10)
+def campaign_run(ctx: CampaignContext) -> Table1Result:
+    """Structural table — independent of workloads and the executor."""
+    return run()
 
 
 def mechanisms() -> List[str]:

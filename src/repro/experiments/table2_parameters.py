@@ -8,8 +8,9 @@ alongside for transparency about scaling).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Any, Dict, List
 
+from repro.campaign.registry import CampaignContext, register_experiment
 from repro.experiments.common import benchmark_config
 from repro.sim.config import SystemConfig
 
@@ -31,12 +32,28 @@ class Table2Result:
             lines.append(f"  {key:<34s} {value}")
         return "\n".join(lines)
 
+    def to_rows(self) -> List[Dict[str, object]]:
+        return ([{"scale": "paper", "parameter": key, "value": value}
+                 for key, value in self.paper_rows.items()]
+                + [{"scale": "benchmark", "parameter": key, "value": value}
+                   for key, value in self.benchmark_rows.items()])
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"paper": dict(self.paper_rows),
+                "benchmark": dict(self.benchmark_rows)}
+
 
 def run() -> Table2Result:
     """Render both parameter tables."""
     return Table2Result(
         paper_rows=SystemConfig.paper_defaults().table2_rows(),
         benchmark_rows=benchmark_config().table2_rows())
+
+
+@register_experiment("table2", title="Table 2: target system parameters", order=20)
+def campaign_run(ctx: CampaignContext) -> Table2Result:
+    """Rendered from the live configuration objects; no simulation runs."""
+    return run()
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

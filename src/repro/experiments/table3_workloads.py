@@ -10,9 +10,10 @@ in DESIGN.md is verifiable from a run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Any, Dict, List
 
-from repro.analysis.report import format_table
+from repro.analysis.report import format_table, rows_from_table
+from repro.campaign.registry import CampaignContext, register_experiment
 from repro.workloads import PROFILES, make_workload
 from repro.workloads.base import mix_statistics
 
@@ -28,6 +29,12 @@ class Table3Result:
                             columns=["description", "store fraction",
                                      "unique blocks", "shared fraction",
                                      "footprint blocks"])
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        return rows_from_table(self.rows, label_field="workload")
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"rows": self.to_rows()}
 
 
 def run(*, num_processors: int = 16, references: int = 2_000,
@@ -46,6 +53,12 @@ def run(*, num_processors: int = 16, references: int = 2_000,
             "footprint blocks": workload.footprint_blocks,
         }
     return result
+
+
+@register_experiment("table3", title="Table 3: workload characterisation", order=30)
+def campaign_run(ctx: CampaignContext) -> Table3Result:
+    """Measures every workload profile (cheap stream generation, no system)."""
+    return run()
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

@@ -79,13 +79,14 @@ _CLASS_TO_VNET = {
 _MESSAGE_IDS = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkMessage:
     """One message in flight through the interconnection network.
 
     The network layer fills in the bookkeeping fields (``msg_id``,
     ``send_seq``, ``injected_at``, ``hops``); callers supply the endpoints,
-    the class, the size and the opaque coherence payload.
+    the class, the size and the opaque coherence payload.  Slotted because
+    hundreds of thousands of messages are allocated per simulated run.
     """
 
     src: int

@@ -23,17 +23,20 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional, Tuple
 
 
 class SimulationError(RuntimeError):
     """Raised for fatal inconsistencies inside the simulation kernel."""
 
 
-@dataclass(order=True)
 class Event:
     """A single scheduled event.
+
+    A plain ``__slots__`` class rather than a dataclass: millions of events
+    are created per simulated run, so per-instance dict overhead and
+    generated ``__lt__`` calls are measurable.  Heap ordering lives in the
+    queue's ``(time, priority, seq)`` tuple keys, not on the event itself.
 
     Attributes
     ----------
@@ -53,23 +56,46 @@ class Event:
         Cancelled events stay in the heap but are skipped when popped.
     """
 
-    time: int
-    priority: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "priority", "seq", "callback", "label", "cancelled",
+                 "_queue")
+
+    def __init__(self, time: int, priority: int, seq: int,
+                 callback: Callable[[], None], label: str = "",
+                 queue: Optional["EventQueue"] = None) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+        self._queue = queue
 
     def cancel(self) -> None:
-        """Mark the event as cancelled; it will be dropped when reached."""
-        self.cancelled = True
+        """Mark the event as cancelled; it will be dropped when reached.
+
+        Equivalent to :meth:`EventQueue.cancel` — the owning queue's live
+        count is kept consistent either way.
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            if self._queue is not None:
+                self._queue._live -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time} p={self.priority} {self.label!r}{state}>"
+
+
+#: Heap entries: the ``(time, priority, seq)`` tuple key plus the event.
+#: ``seq`` is unique, so comparisons never fall through to the event object.
+_HeapEntry = Tuple[int, int, int, Event]
 
 
 class EventQueue:
     """Priority queue of :class:`Event` objects keyed by time."""
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[_HeapEntry] = []
         self._seq = itertools.count()
         self._live = 0
 
@@ -81,36 +107,37 @@ class EventQueue:
         """Schedule ``callback`` at absolute cycle ``time`` and return the event."""
         if time < 0:
             raise SimulationError(f"cannot schedule event at negative time {time}")
-        event = Event(time=time, priority=priority, seq=next(self._seq),
-                      callback=callback, label=label)
-        heapq.heappush(self._heap, event)
+        seq = next(self._seq)
+        event = Event(time, priority, seq, callback, label, queue=self)
+        heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
         """Pop the next non-cancelled event, or ``None`` if the queue is empty."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)[3]
             if event.cancelled:
                 continue
             self._live -= 1
+            # Disown the event: a later cancel() on an already-fired event
+            # (e.g. clearing a transaction timeout after it went off) must
+            # not decrement the live count again.
+            event._queue = None
             return event
-        self._live = 0
         return None
 
     def peek_time(self) -> Optional[int]:
         """Return the firing time of the next live event without popping it."""
-        while self._heap and self._heap[0].cancelled:
+        while self._heap and self._heap[0][3].cancelled:
             heapq.heappop(self._heap)
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][0]
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event."""
-        if not event.cancelled:
-            event.cancelled = True
-            self._live -= 1
+        event.cancel()
 
     def drain(self) -> Iterator[Event]:
         """Yield and remove every remaining live event (used at teardown)."""

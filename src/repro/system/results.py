@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List
 
 from repro.core.events import RecoveryRecord, SpeculationKind
+
+#: Schema tag embedded in every serialized result; consumers (the result
+#: cache, the runner's ``--json`` report) check it before trusting a payload.
+RESULT_SCHEMA = "repro.system.results/v1"
 
 
 @dataclass
@@ -64,6 +68,42 @@ class RunResult:
 
     def recoveries_of(self, kind: SpeculationKind) -> int:
         return self.recoveries_by_kind.get(kind.value, 0)
+
+    # -------------------------------------------------------------- serialization
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-safe payload; :meth:`from_json` is the exact inverse.
+
+        The payload is pure data (ints, floats, strings, dicts), so
+        ``json.dumps(result.to_json(), sort_keys=True)`` is a canonical,
+        byte-comparable encoding of a run — the determinism tests and the
+        executor result cache rely on that.
+        """
+        payload: Dict[str, Any] = {"schema": RESULT_SCHEMA}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name == "recovery_records":
+                value = [record.to_json() for record in value]
+            elif spec.name in ("recoveries_by_kind", "reorder_rate_by_vnet",
+                               "counters"):
+                value = dict(value)
+            payload[spec.name] = value
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "RunResult":
+        """Rebuild a result from :meth:`to_json` output."""
+        schema = payload.get("schema", RESULT_SCHEMA)
+        if schema != RESULT_SCHEMA:
+            raise ValueError(f"unsupported result schema {schema!r}")
+        kwargs: Dict[str, Any] = {}
+        for spec in fields(cls):
+            if spec.name not in payload:
+                continue
+            value = payload[spec.name]
+            if spec.name == "recovery_records":
+                value = [RecoveryRecord.from_json(record) for record in value]
+            kwargs[spec.name] = value
+        return cls(**kwargs)
 
     def summary_line(self) -> str:
         """One-line human readable summary (used by example scripts)."""

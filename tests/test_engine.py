@@ -51,6 +51,51 @@ class TestEventQueue:
         queue.cancel(event)
         assert queue.peek_time() == 7
 
+    def test_direct_event_cancel_keeps_live_count_consistent(self):
+        """Regression: ``Event.cancel()`` used to leave ``len(queue)`` overcounted."""
+        queue = EventQueue()
+        event = queue.push(1, lambda: None)
+        keeper = queue.push(2, lambda: None)
+        event.cancel()
+        assert len(queue) == 1
+        assert queue.pop() is keeper
+        assert queue.pop() is None
+        assert len(queue) == 0
+
+    def test_double_cancel_decrements_once(self):
+        queue = EventQueue()
+        event = queue.push(1, lambda: None)
+        queue.push(2, lambda: None)
+        event.cancel()
+        queue.cancel(event)
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_cancel_after_pop_does_not_corrupt_live_count(self):
+        """Cancelling an event that already fired must be count-neutral.
+
+        Coherence controllers clear transaction timeouts with
+        ``timeout_event.cancel()`` even when the timeout already went off.
+        """
+        queue = EventQueue()
+        fired = queue.push(1, lambda: None)
+        queue.push(2, lambda: None)
+        assert queue.pop() is fired
+        fired.cancel()
+        queue.cancel(fired)
+        assert len(queue) == 1
+        assert queue.pop() is not None
+        assert len(queue) == 0
+
+    def test_cancel_then_peek_then_len(self):
+        """peek_time discards cancelled heap entries without touching the count."""
+        queue = EventQueue()
+        event = queue.push(1, lambda: None)
+        queue.push(9, lambda: None)
+        event.cancel()
+        assert queue.peek_time() == 9
+        assert len(queue) == 1
+
     def test_negative_time_rejected(self):
         queue = EventQueue()
         with pytest.raises(SimulationError):
