@@ -47,6 +47,13 @@ def reset_global_ids() -> None:
     message._MESSAGE_IDS = itertools.count()
 
 
+#: Process-local tallies of simulation work done by :func:`execute_spec`.
+#: Purely observational (benchmark harnesses read them); they are never
+#: serialized into results, so reports stay byte-identical with or without
+#: consumers.  Parallel workers accumulate their own copies.
+PERF_COUNTERS: Dict[str, int] = {"runs": 0, "events_executed": 0}
+
+
 def execute_spec(spec: RunSpec) -> RunResult:
     """Run one design point from scratch and return its result.
 
@@ -60,7 +67,10 @@ def execute_spec(spec: RunSpec) -> RunResult:
     system = build_system(spec.config, label=spec.label)
     if spec.recovery_rate_per_second is not None:
         system.attach_recovery_injector(spec.recovery_rate_per_second)
-    return system.run(max_cycles=spec.max_cycles)
+    result = system.run(max_cycles=spec.max_cycles)
+    PERF_COUNTERS["runs"] += 1
+    PERF_COUNTERS["events_executed"] += system.sim.events_executed
+    return result
 
 
 class ResultCache:

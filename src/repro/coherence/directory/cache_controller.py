@@ -177,6 +177,9 @@ class DirectoryCacheController(Component):
 
     def _transaction_timeout(self, txn: Transaction) -> None:
         """A coherence transaction timed out: the Section 4 deadlock detector."""
+        # The timeout event has fired: its handle is dead (the kernel pools
+        # fired events) and must not be cancelled later.
+        txn.timeout_event = None
         if txn.completed or self.transaction is not txn:
             return
         self.detected_misspeculations += 1
@@ -402,6 +405,7 @@ class DirectoryCacheController(Component):
         self.generation += 1
         if self.transaction is not None and self.transaction.timeout_event is not None:
             self.transaction.timeout_event.cancel()
+            self.transaction.timeout_event = None
         self.transaction = None
         self.writebacks.clear()
 

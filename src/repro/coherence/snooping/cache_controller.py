@@ -163,6 +163,9 @@ class SnoopingCacheController(Component):
         on_complete(request)
 
     def _transaction_timeout(self, txn: Transaction) -> None:
+        # The timeout event has fired: its handle is dead (the kernel pools
+        # fired events) and must not be cancelled later.
+        txn.timeout_event = None
         if txn.completed or self.transaction is not txn:
             return
         self.detected_misspeculations += 1
@@ -397,6 +400,7 @@ class SnoopingCacheController(Component):
         self.generation += 1
         if self.transaction is not None and self.transaction.timeout_event is not None:
             self.transaction.timeout_event.cancel()
+            self.transaction.timeout_event = None
         self.transaction = None
         self.writebacks.clear()
         self._pending_forwards.clear()

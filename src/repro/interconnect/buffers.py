@@ -62,7 +62,7 @@ class FiniteBuffer(Generic[T]):
     # ------------------------------------------------------------ reservation
     def reserve(self) -> bool:
         """Reserve one slot for an in-flight message; False if no space."""
-        if self.is_full:
+        if len(self._queue) + self._reserved >= self.capacity:
             return False
         self._reserved += 1
         return True
@@ -81,15 +81,19 @@ class FiniteBuffer(Generic[T]):
         self._reserved -= 1
         self._queue.append(item)
         self.total_enqueued += 1
-        self.peak_occupancy = max(self.peak_occupancy, self.occupancy)
+        occupancy = len(self._queue) + self._reserved
+        if occupancy > self.peak_occupancy:
+            self.peak_occupancy = occupancy
 
     def push(self, item: T) -> None:
         """Push without a prior reservation (endpoint injection)."""
-        if self.is_full:
+        if len(self._queue) + self._reserved >= self.capacity:
             raise BufferFullError(f"buffer {self.name} is full")
         self._queue.append(item)
         self.total_enqueued += 1
-        self.peak_occupancy = max(self.peak_occupancy, self.occupancy)
+        occupancy = len(self._queue) + self._reserved
+        if occupancy > self.peak_occupancy:
+            self.peak_occupancy = occupancy
 
     def peek(self) -> Optional[T]:
         return self._queue[0] if self._queue else None

@@ -8,10 +8,22 @@ congested outputs).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.sim.engine import Simulator
 from repro.sim.stats import StatsRegistry
+
+
+def serialization_cycles_for(size_bytes: int, cycles_per_byte: float) -> int:
+    """Cycles to push ``size_bytes`` onto a wire at ``cycles_per_byte``.
+
+    Rounding is explicit floor+half-up (``floor(x + 0.5)``), *not* Python's
+    ``round``: banker's rounding resolves exact .5 boundaries toward the
+    nearest even integer, which makes adjacent message sizes alternate
+    between rounding up and down (e.g. 2.5 -> 2 but 3.5 -> 4 cycles at a
+    half-cycle-per-byte link) — a bandwidth model artifact, not physics.
+    """
+    return max(1, int(size_bytes * cycles_per_byte + 0.5))
 
 
 class Link:
@@ -32,10 +44,18 @@ class Link:
         self.busy_cycles = 0
         self.messages_carried = 0
         self.bytes_carried = 0
+        #: Message sizes are drawn from a handful of values (control header,
+        #: data block + header), so the serialisation delay per size is
+        #: memoised instead of recomputed per occupancy.
+        self._ser_cache: Dict[int, int] = {}
 
     def serialization_cycles(self, size_bytes: int) -> int:
-        """Cycles to push ``size_bytes`` onto the wire."""
-        return max(1, int(round(size_bytes * self.cycles_per_byte)))
+        """Cycles to push ``size_bytes`` onto the wire (memoised per size)."""
+        cycles = self._ser_cache.get(size_bytes)
+        if cycles is None:
+            cycles = serialization_cycles_for(size_bytes, self.cycles_per_byte)
+            self._ser_cache[size_bytes] = cycles
+        return cycles
 
     @property
     def is_busy(self) -> bool:

@@ -104,14 +104,20 @@ class NetworkMessage:
     hops: int = 0
     #: The path of switch ids actually traversed (filled in by the switches).
     path: List[int] = field(default_factory=list)
+    #: Virtual network, resolved once from ``msg_class`` at construction —
+    #: the network layer reads it on every hop.
+    vnet: VirtualNetwork = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.vnet = _CLASS_TO_VNET[self.msg_class]
 
     @property
     def virtual_network(self) -> VirtualNetwork:
-        return self.msg_class.virtual_network
+        return self.vnet
 
     def ordering_key(self) -> Tuple[int, int, VirtualNetwork]:
         """Key under which point-to-point ordering is defined."""
-        return (self.src, self.dst, self.virtual_network)
+        return (self.src, self.dst, self.vnet)
 
     @property
     def latency(self) -> int:

@@ -25,7 +25,7 @@ from repro.interconnect.topology import Direction, TorusTopology
 from repro.sim.config import InterconnectConfig, RoutingPolicy
 from repro.sim.engine import Simulator
 from repro.sim.rng import DeterministicRng
-from repro.sim.stats import StatsRegistry
+from repro.sim.stats import Counter, StatsRegistry
 
 
 @dataclass
@@ -145,7 +145,26 @@ class TorusNetwork:
         #: older epoch are dropped when they land (they belong to protocol
         #: state that a recovery has rolled back).
         self.flush_epoch = 0
+        #: Lazily filled per-virtual-network counter caches; indexed by the
+        #: vnet value.  Entries stay None until first use so the registry
+        #: only ever contains counters that actually counted something
+        #: (exactly the lazy behaviour of ``stats.counter(name)``).
+        n_vnets = len(VirtualNetwork)
+        self._sent_counters: List[Optional[Counter]] = [None] * n_vnets
+        self._delivered_counters: List[Optional[Counter]] = [None] * n_vnets
+        self._reordered_counters: List[Optional[Counter]] = [None] * n_vnets
         self._build()
+
+    def _vnet_counter(self, cache: List[Optional["Counter"]], prefix: str,
+                      vnet: int) -> "Counter":
+        counter = cache[vnet]
+        if counter is None:
+            # int() deliberately: IntEnum.__str__ only renders as the bare
+            # number from Python 3.11 on, and stat names must not depend on
+            # the interpreter version.
+            counter = self.stats.counter(f"network.{prefix}.vn{int(vnet)}")
+            cache[vnet] = counter
+        return counter
 
     # ------------------------------------------------------------------ build
     def _make_routing(self, policy: RoutingPolicy) -> RoutingAlgorithm:
@@ -213,7 +232,7 @@ class TorusNetwork:
         self.ordering.assign_send_seq(message)
         message.injected_at = self.sim.now
         self.messages_sent += 1
-        self.stats.counter(f"network.sent.vn{int(message.virtual_network)}").add()
+        self._vnet_counter(self._sent_counters, "sent", message.vnet).value += 1
         endpoint = self._endpoints[message.src]
         endpoint.pending_injection.append(message)
         self._drain_injection_queue(message.src)
@@ -270,15 +289,15 @@ class TorusNetwork:
             message.delivered_at = self.sim.now
             self.messages_delivered += 1
             endpoint.delivered += 1
-            self.total_message_latency += message.latency
+            self.total_message_latency += message.delivered_at - message.injected_at
             reordered = self.ordering.note_delivery(message)
-            vn = int(message.virtual_network)
-            self.stats.counter(f"network.delivered.vn{vn}").add()
+            vn = message.vnet
+            self._vnet_counter(self._delivered_counters, "delivered", vn).value += 1
             if reordered:
-                self.stats.counter(f"network.reordered.vn{vn}").add()
+                self._vnet_counter(self._reordered_counters, "reordered", vn).value += 1
             endpoint.receive(message)
 
-        self.sim.schedule(delay, _deliver, label=f"deliver.node{node_id}")
+        self.sim.schedule(delay, _deliver, label="deliver")
 
     # ------------------------------------------------------------- measurement
     def mean_message_latency(self) -> float:

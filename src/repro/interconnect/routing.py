@@ -52,13 +52,22 @@ class RoutingAlgorithm(ABC):
 
 
 class DimensionOrderRouting(RoutingAlgorithm):
-    """Deterministic X-then-Y routing (static)."""
+    """Deterministic X-then-Y routing (static).
+
+    Every decision is a lookup in the topology's precomputed
+    ``[src][dst] -> Direction`` table; the geometry maths runs once per
+    topology, not once per message-hop.
+    """
 
     name = "static"
 
+    def __init__(self, topology: TorusTopology) -> None:
+        super().__init__(topology)
+        self._table = topology.dimension_order_table()
+
     def route(self, switch_id: int, message: NetworkMessage,
               congestion: Callable[[Direction], int]) -> Direction:
-        return self.topology.dimension_order_direction(switch_id, message.dst)
+        return self._table[switch_id][message.dst]
 
 
 class AdaptiveMinimalRouting(RoutingAlgorithm):
@@ -81,6 +90,8 @@ class AdaptiveMinimalRouting(RoutingAlgorithm):
         self._now: Callable[[], int] = lambda: 0
         self.decisions = 0
         self.non_dimension_order_choices = 0
+        self._static_table = topology.dimension_order_table()
+        self._minimal_table = topology.minimal_directions_table()
 
     # -------------------------------------------------------------- disabling
     def bind_clock(self, now: Callable[[], int]) -> None:
@@ -106,11 +117,11 @@ class AdaptiveMinimalRouting(RoutingAlgorithm):
     # ----------------------------------------------------------------- routing
     def route(self, switch_id: int, message: NetworkMessage,
               congestion: Callable[[Direction], int]) -> Direction:
-        static_choice = self.topology.dimension_order_direction(switch_id, message.dst)
-        if not self.currently_adaptive:
+        static_choice = self._static_table[switch_id][message.dst]
+        if self._now() < self._disabled_until:
             return static_choice
 
-        options = self.topology.minimal_directions(switch_id, message.dst)
+        options = self._minimal_table[switch_id][message.dst]
         if len(options) <= 1:
             return options[0] if options else static_choice
 

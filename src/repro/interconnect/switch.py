@@ -77,7 +77,30 @@ class Switch(Component):
                 shared=shared_buffers,
             )
         self.output_links: Dict[Direction, Link] = {}
+        #: Flattened (port, channel, buffer, queue) scan order.  The channel
+        #: layout is fixed at construction, so the nested dict walk per scan
+        #: is precomputed once; the scan itself touches only non-empty
+        #: buffers (the deque is captured directly for the emptiness test —
+        #: a FiniteBuffer never replaces its deque).  Order matches the
+        #: original nested iteration (insertion order of input ports, then
+        #: of channels) — forwarding order is unchanged.
+        self._scan_entries: List[Tuple[Direction, ChannelId, FiniteBuffer, object]] = [
+            (port, cid, buf, buf._queue)
+            for port, channels in self.input_channels.items()
+            for cid, buf in channels.buffers()
+        ]
         self._scan_scheduled = False
+        self._scan_label = f"{self.name}.scan"
+        #: Messages currently queued across all input buffers — maintained
+        #: at the (only) push/pop sites below so an empty switch's scan is
+        #: O(1).  Credit wakeups routinely land on switches with nothing
+        #: queued.
+        self._queued_count = 0
+        #: Forwarding labels per output direction (f-string per message is
+        #: measurable at millions of forwards).
+        self._fwd_labels: Dict[Direction, str] = {
+            direction: f"{self.name}->switch{neighbor}"
+            for direction, neighbor in self.neighbors.items()}
         self.messages_forwarded = 0
         self.messages_ejected = 0
         self.blocked_events = 0
@@ -100,6 +123,7 @@ class Switch(Component):
             self.count("injection_blocked")
             return False
         channels.buffer(cid).push_reserved(message)
+        self._queued_count += 1
         message.path.append(self.switch_id)
         self.count("injected")
         self.schedule_scan()
@@ -122,6 +146,7 @@ class Switch(Component):
             self.count("squashed_in_flight")
             return
         self.input_channels[input_port].buffer(channel).push_reserved(message)
+        self._queued_count += 1
         message.hops += 1
         message.path.append(self.switch_id)
         self.schedule_scan()
@@ -132,18 +157,21 @@ class Switch(Component):
         if self._scan_scheduled:
             return
         self._scan_scheduled = True
-        self.schedule(max(0, delay), self._scan, label=f"{self.name}.scan")
+        self.schedule(max(0, delay), self._scan, label=self._scan_label)
 
     def _scan(self) -> None:
         self._scan_scheduled = False
+        if not self._queued_count:
+            return
         progressed = False
         retry_at: Optional[int] = None
-        for port, channels in self.input_channels.items():
-            for cid, buf in channels.buffers():
-                moved, wake_time = self._try_forward_head(port, cid, buf)
-                progressed = progressed or moved
-                if wake_time is not None:
-                    retry_at = wake_time if retry_at is None else min(retry_at, wake_time)
+        for port, cid, buf, queue in self._scan_entries:
+            if not queue:  # empty buffer: nothing to forward
+                continue
+            moved, wake_time = self._try_forward_head(port, cid, buf)
+            progressed = progressed or moved
+            if wake_time is not None:
+                retry_at = wake_time if retry_at is None else min(retry_at, wake_time)
         if progressed:
             # More heads may now be free to move (and space opened upstream).
             self.schedule_scan(delay=1)
@@ -170,6 +198,7 @@ class Switch(Component):
                 self.count("ejection_blocked")
                 return False, self.sim.now + 16
             buf.pop()
+            self._queued_count -= 1
             self.messages_ejected += 1
             self.count("ejected")
             self.network.deliver_to_endpoint(self.switch_id, message,
@@ -180,6 +209,7 @@ class Switch(Component):
         link = self.output_links.get(direction)
         if link is None:  # degenerate 1-wide torus: treat as local loopback
             buf.pop()
+            self._queued_count -= 1
             self.network.deliver_to_endpoint(self.switch_id, message,
                                              delay=self.EJECTION_LATENCY)
             self._credit_released(port)
@@ -200,6 +230,7 @@ class Switch(Component):
             return False, link.next_free_time()
 
         buf.pop()
+        self._queued_count -= 1
         arrival = link.occupy(message.size_bytes)
         self.messages_forwarded += 1
         self.count("forwarded")
@@ -208,7 +239,7 @@ class Switch(Component):
             arrival,
             lambda m=message, d=downstream, p=downstream_port, c=downstream_cid, e=epoch:
                 d.receive_from_link(m, p, c, e),
-            label=f"{self.name}->{downstream.name}")
+            label=self._fwd_labels[direction])
         self._credit_released(port)
         return True, None
 
@@ -281,6 +312,7 @@ class Switch(Component):
         dropped: List[NetworkMessage] = []
         for channels in self.input_channels.values():
             dropped.extend(channels.drain())
+        self._queued_count = 0
         return dropped
 
 

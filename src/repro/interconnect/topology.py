@@ -53,6 +53,11 @@ class TorusTopology:
             raise ValueError("torus dimensions must be >= 1")
         self.width = width
         self.height = height
+        # Routing tables, built lazily on first use: geometry is static, so
+        # every (src, dst) question the switches ask per message reduces to
+        # one table lookup on the hot path (DESIGN.md §5).
+        self._dim_order_table: List[List[Direction]] = []
+        self._minimal_table: List[List[List[Direction]]] = []
 
     # ------------------------------------------------------------ identifiers
     @property
@@ -116,13 +121,7 @@ class TorusTopology:
         dx, dy = self._axis_offsets(src, dst)
         return abs(dx) + abs(dy)
 
-    def minimal_directions(self, src: int, dst: int) -> List[Direction]:
-        """Directions that lie on *some* minimal path from src to dst.
-
-        On a torus a minimal route can make progress in the X dimension, the
-        Y dimension, or either; adaptive routing chooses among these,
-        dimension-order routing always takes X first.
-        """
+    def _minimal_directions_uncached(self, src: int, dst: int) -> List[Direction]:
         if src == dst:
             return [Direction.LOCAL]
         dx, dy = self._axis_offsets(src, dst)
@@ -137,18 +136,74 @@ class TorusTopology:
             options.append(Direction.NORTH)
         return options
 
+    def _build_tables(self) -> None:
+        """Precompute per-(src, dst) next-hop answers from the geometry."""
+        n = self.num_switches
+        minimal = [[self._minimal_directions_uncached(src, dst)
+                    for dst in range(n)] for src in range(n)]
+        dim_order = [[Direction.LOCAL] * n for _ in range(n)]
+        for src in range(n):
+            row = dim_order[src]
+            for dst in range(n):
+                if src == dst:
+                    continue
+                dx, dy = self._axis_offsets(src, dst)
+                if dx > 0:
+                    row[dst] = Direction.EAST
+                elif dx < 0:
+                    row[dst] = Direction.WEST
+                elif dy > 0:
+                    row[dst] = Direction.SOUTH
+                else:
+                    row[dst] = Direction.NORTH
+        self._minimal_table = minimal
+        self._dim_order_table = dim_order
+
+    def minimal_directions(self, src: int, dst: int) -> List[Direction]:
+        """Directions that lie on *some* minimal path from src to dst.
+
+        On a torus a minimal route can make progress in the X dimension, the
+        Y dimension, or either; adaptive routing chooses among these,
+        dimension-order routing always takes X first.
+
+        The returned list is a shared precomputed table row — treat it as
+        read-only.
+        """
+        table = self._minimal_table
+        if not table:
+            self._check(src)
+            self._check(dst)
+            self._build_tables()
+            table = self._minimal_table
+        elif not (0 <= src < len(table) and 0 <= dst < len(table)):
+            self._check(src)
+            self._check(dst)
+        return table[src][dst]
+
     def dimension_order_direction(self, src: int, dst: int) -> Direction:
         """The unique X-then-Y (dimension order) next hop direction."""
-        if src == dst:
-            return Direction.LOCAL
-        dx, dy = self._axis_offsets(src, dst)
-        if dx > 0:
-            return Direction.EAST
-        if dx < 0:
-            return Direction.WEST
-        if dy > 0:
-            return Direction.SOUTH
-        return Direction.NORTH
+        table = self._dim_order_table
+        if not table:
+            self._check(src)
+            self._check(dst)
+            self._build_tables()
+            table = self._dim_order_table
+        elif not (0 <= src < len(table) and 0 <= dst < len(table)):
+            self._check(src)
+            self._check(dst)
+        return table[src][dst]
+
+    def dimension_order_table(self) -> List[List[Direction]]:
+        """The full ``[src][dst] -> Direction`` next-hop table (read-only)."""
+        if not self._dim_order_table:
+            self._build_tables()
+        return self._dim_order_table
+
+    def minimal_directions_table(self) -> List[List[List[Direction]]]:
+        """The full ``[src][dst] -> minimal directions`` table (read-only)."""
+        if not self._minimal_table:
+            self._build_tables()
+        return self._minimal_table
 
     def all_pairs_mean_distance(self) -> float:
         """Mean minimal distance over all ordered pairs (used in reports)."""

@@ -46,16 +46,30 @@ class ChannelSet:
         self.shared = shared
         self.virtual_networks = virtual_networks
         self.virtual_channels = virtual_channels
+        # The buffers live in a [vn][vc] grid with a parallel grid of
+        # interned ChannelId objects: the per-message mapping is two list
+        # index operations, never a dataclass hash (the old dict-keyed
+        # layout spent a visible fraction of every scan in ChannelId
+        # __hash__/__eq__).  ``_buffers`` is kept in sync for the
+        # inspection API.
         self._buffers: Dict[ChannelId, FiniteBuffer[NetworkMessage]] = {}
-        if shared:
-            cid = ChannelId(0, 0)
-            self._buffers[cid] = FiniteBuffer(f"{name}.shared", capacity_per_channel)
-        else:
-            for vn in range(virtual_networks):
-                for vc in range(max(1, virtual_channels)):
-                    cid = ChannelId(vn, vc)
-                    self._buffers[cid] = FiniteBuffer(
-                        f"{name}.{cid}", capacity_per_channel)
+        self._grid: List[List[FiniteBuffer[NetworkMessage]]] = []
+        self._cids: List[List[ChannelId]] = []
+        self._vc_count = 1 if shared else max(1, virtual_channels)
+        vn_count = 1 if shared else virtual_networks
+        for vn in range(vn_count):
+            grid_row: List[FiniteBuffer[NetworkMessage]] = []
+            cid_row: List[ChannelId] = []
+            for vc in range(self._vc_count):
+                cid = ChannelId(vn, vc)
+                label = f"{name}.shared" if shared else f"{name}.{cid}"
+                buf: FiniteBuffer[NetworkMessage] = FiniteBuffer(
+                    label, capacity_per_channel)
+                self._buffers[cid] = buf
+                grid_row.append(buf)
+                cid_row.append(cid)
+            self._grid.append(grid_row)
+            self._cids.append(cid_row)
 
     # --------------------------------------------------------------- mapping
     def channel_for(self, message: NetworkMessage) -> ChannelId:
@@ -70,35 +84,40 @@ class ChannelSet:
         adaptive routing.
         """
         if self.shared:
-            return ChannelId(0, 0)
-        vn = int(message.virtual_network)
+            return self._cids[0][0]
+        vn = message.vnet
         if vn >= self.virtual_networks:
             vn = vn % self.virtual_networks
-        vc = (message.src * 31 + message.dst) % max(1, self.virtual_channels)
-        return ChannelId(vn, vc)
+        vc = (message.src * 31 + message.dst) % self._vc_count
+        return self._cids[vn][vc]
 
     def candidate_channels(self, message: NetworkMessage) -> List[ChannelId]:
         """Buffers legal for this message (exactly one per stream, see above)."""
-        if self.shared:
-            return [ChannelId(0, 0)]
         return [self.channel_for(message)]
 
     # ---------------------------------------------------------------- queries
     def buffer(self, cid: ChannelId) -> FiniteBuffer[NetworkMessage]:
-        return self._buffers[cid]
+        return self._grid[cid.virtual_network][cid.virtual_channel]
 
     def buffers(self) -> List[Tuple[ChannelId, FiniteBuffer[NetworkMessage]]]:
         return list(self._buffers.items())
 
     def free_slots_for(self, message: NetworkMessage) -> int:
         """Total free slots across every buffer this message may use."""
-        return sum(self._buffers[cid].free_slots
-                   for cid in self.candidate_channels(message))
+        return self.buffer(self.channel_for(message)).free_slots
 
     def reserve_for(self, message: NetworkMessage) -> Tuple[bool, ChannelId]:
-        """Reserve a slot in the message's buffer; returns ``(ok, channel)``."""
-        cid = self.channel_for(message)
-        return self._buffers[cid].reserve(), cid
+        """Reserve a slot in the message's buffer; returns ``(ok, channel)``.
+
+        Inlines :meth:`channel_for` (this runs once per hop per message).
+        """
+        if self.shared:
+            return self._grid[0][0].reserve(), self._cids[0][0]
+        vn = message.vnet
+        if vn >= self.virtual_networks:
+            vn = vn % self.virtual_networks
+        vc = (message.src * 31 + message.dst) % self._vc_count
+        return self._grid[vn][vc].reserve(), self._cids[vn][vc]
 
     def occupancy(self) -> int:
         return sum(buf.occupancy for buf in self._buffers.values())

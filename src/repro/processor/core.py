@@ -63,6 +63,14 @@ class BlockingProcessor(Component, CheckpointParticipant):
         self.references_completed = 0
         self.store_counter = 0
         self.retired_instructions = 0
+        # Per-reference constants, hoisted out of the issue loop.  round()
+        # (not floor+half-up) deliberately: these predate the link-rounding
+        # fix and pin the same values as the original per-call computation.
+        self._gap_base = int(round(self.pconfig.mean_instructions_between_refs
+                                   / self.pconfig.instructions_per_cycle))
+        self._instructions_per_ref = (
+            int(round(self.pconfig.mean_instructions_between_refs)) + 1)
+        self._jitter = config.workload.latency_jitter_cycles
         self.finished_at: Optional[int] = None
         self._started = False
         self._waiting_for_memory = False
@@ -97,11 +105,16 @@ class BlockingProcessor(Component, CheckpointParticipant):
 
     # ------------------------------------------------------------------- issue
     def _compute_gap_cycles(self) -> int:
-        """Cycles of non-memory work before the next reference."""
-        mean = self.pconfig.mean_instructions_between_refs / self.pconfig.instructions_per_cycle
-        jitter = self.config.workload.latency_jitter_cycles
-        extra = self.rng.randint("gap", 0, jitter + 1) if jitter > 0 else 0
-        return max(1, int(round(mean)) + extra)
+        """Cycles of non-memory work before the next reference.
+
+        Jitter draws are prefetched in chunks (`buffered_randint`) — bit
+        -identical to the scalar per-call draws because the "gap" stream is
+        consumed nowhere else.
+        """
+        jitter = self._jitter
+        extra = (self.rng.buffered_randint("gap", 0, jitter + 1)
+                 if jitter > 0 else 0)
+        return max(1, self._gap_base + extra)
 
     def _issue_next(self) -> None:
         self._issue_pending = False
@@ -120,7 +133,7 @@ class BlockingProcessor(Component, CheckpointParticipant):
 
         op, address = self.references[self.stream_index]
         self.stream_index += 1
-        self.retired_instructions += int(round(self.pconfig.mean_instructions_between_refs)) + 1
+        self.retired_instructions += self._instructions_per_ref
 
         value = None
         if op == MemoryOp.STORE:

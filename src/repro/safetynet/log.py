@@ -9,28 +9,59 @@ The paper's Table 2 sizes the buffer at 512 KB with 72-byte entries; the log
 model tracks occupancy against that budget so experiments can report
 pressure, but it never silently drops records (a real implementation stalls
 the system instead — we count those would-be stalls).
+
+This module is on the hottest write path of the simulator: one record per
+logged state change, millions per campaign.  :class:`UndoRecord` is
+therefore a ``__slots__`` class (no per-instance dict, no dataclass
+machinery), records live in per-checkpoint append-only lists, and occupancy
+is a running counter maintained on append/commit/discard — O(1) per
+operation, never a recount.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 
-@dataclass
 class UndoRecord:
     """One logged state change (stored so it can be undone)."""
 
-    checkpoint_seq: int
-    target_id: str
-    address: int
-    field: str
-    old_value: object
-    logged_at: int
+    __slots__ = ("checkpoint_seq", "target_id", "address", "field",
+                 "old_value", "logged_at")
+
+    def __init__(self, checkpoint_seq: int, target_id: str, address: int,
+                 field: str, old_value: object, logged_at: int) -> None:
+        self.checkpoint_seq = checkpoint_seq
+        self.target_id = target_id
+        self.address = address
+        self.field = field
+        self.old_value = old_value
+        self.logged_at = logged_at
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UndoRecord):
+            return NotImplemented
+        return (self.checkpoint_seq == other.checkpoint_seq
+                and self.target_id == other.target_id
+                and self.address == other.address
+                and self.field == other.field
+                and self.old_value == other.old_value
+                and self.logged_at == other.logged_at)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"UndoRecord(seq={self.checkpoint_seq}, "
+                f"target={self.target_id!r}, addr={self.address:#x}, "
+                f"field={self.field!r}, old={self.old_value!r})")
 
 
 class CheckpointLogBuffer:
-    """Per-node log of undo records, organised by checkpoint sequence number."""
+    """Per-node log of undo records, organised by checkpoint sequence number.
+
+    Records for one checkpoint form an append-only list; the dict of lists
+    is keyed by checkpoint sequence.  ``occupancy_entries`` is a running
+    counter kept consistent by ``append`` / ``commit_through`` /
+    ``discard_since`` — reading it is O(1).
+    """
 
     def __init__(self, name: str, *, capacity_bytes: int, entry_bytes: int) -> None:
         if capacity_bytes <= 0 or entry_bytes <= 0:
@@ -39,30 +70,47 @@ class CheckpointLogBuffer:
         self.capacity_entries = capacity_bytes // entry_bytes
         self.entry_bytes = entry_bytes
         self._records: Dict[int, List[UndoRecord]] = {}
+        self._occupancy = 0
+        # Appends come overwhelmingly for the newest checkpoint; cache its
+        # list so the common case skips the dict lookup.
+        self._tail_seq: Optional[int] = None
+        self._tail: List[UndoRecord] = []
         self.total_logged = 0
         self.peak_occupancy = 0
         self.overflow_stalls = 0
 
     # ----------------------------------------------------------------- writing
     def append(self, record: UndoRecord) -> None:
-        self._records.setdefault(record.checkpoint_seq, []).append(record)
+        seq = record.checkpoint_seq
+        if seq != self._tail_seq:
+            tail = self._records.get(seq)
+            if tail is None:
+                tail = []
+                self._records[seq] = tail
+            self._tail_seq = seq
+            self._tail = tail
+        self._tail.append(record)
         self.total_logged += 1
-        occupancy = self.occupancy_entries
-        self.peak_occupancy = max(self.peak_occupancy, occupancy)
+        occupancy = self._occupancy + 1
+        self._occupancy = occupancy
+        if occupancy > self.peak_occupancy:
+            self.peak_occupancy = occupancy
         if occupancy > self.capacity_entries:
             # A real SafetyNet implementation would stall the node until a
             # checkpoint commits; the timing impact is negligible at the
-            # paper's parameters, so we only count the event.
+            # paper's parameters, so we only count the event (one per
+            # over-capacity append, matching the stall the hardware would
+            # take for that entry).
             self.overflow_stalls += 1
 
     # ----------------------------------------------------------------- queries
     @property
     def occupancy_entries(self) -> int:
-        return sum(len(records) for records in self._records.values())
+        return self._occupancy
 
     @property
     def occupancy_bytes(self) -> int:
-        return self.occupancy_entries * self.entry_bytes
+        return self._occupancy * self.entry_bytes
 
     def records_since(self, checkpoint_seq: int) -> List[UndoRecord]:
         """All records belonging to checkpoints >= ``checkpoint_seq``, oldest first."""
@@ -78,6 +126,10 @@ class CheckpointLogBuffer:
         freed = 0
         for seq in [s for s in self._records if s <= checkpoint_seq]:
             freed += len(self._records.pop(seq))
+            if seq == self._tail_seq:
+                self._tail_seq = None
+                self._tail = []
+        self._occupancy -= freed
         return freed
 
     def discard_since(self, checkpoint_seq: int) -> int:
@@ -85,4 +137,8 @@ class CheckpointLogBuffer:
         dropped = 0
         for seq in [s for s in self._records if s >= checkpoint_seq]:
             dropped += len(self._records.pop(seq))
+            if seq == self._tail_seq:
+                self._tail_seq = None
+                self._tail = []
+        self._occupancy -= dropped
         return dropped

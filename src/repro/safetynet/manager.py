@@ -86,15 +86,21 @@ class SafetyNet:
         """
         self._restore_fns[target_id] = restore
         log = self.logs[node]
+        # Bind the hot-path lookups once: the observer fires for every
+        # logged state change (millions per campaign).  ``checkpoints`` is
+        # mutated in place (never reassigned), so [-1] is always current.
+        append = log.append
+        checkpoints = self._checkpoints
+        sim = self.sim
 
         def observer(address: int, field: str, old_value: object, new_value: object) -> None:
-            log.append(UndoRecord(
-                checkpoint_seq=self.current_checkpoint.seq,
+            append(UndoRecord(
+                checkpoint_seq=checkpoints[-1].seq,
                 target_id=target_id,
                 address=address,
                 field=field,
                 old_value=old_value,
-                logged_at=self.sim.now))
+                logged_at=sim.now))
 
         return observer
 
@@ -159,7 +165,9 @@ class SafetyNet:
             log.commit_through(last_seq)
         self.stats.counter("safetynet.commits").add(len(to_commit))
         # Committed checkpoints can no longer serve as recovery points.
-        self._checkpoints = self._checkpoints[-keep:]
+        # In-place deletion: the registered observers hold a reference to
+        # this list, so it must never be reassigned.
+        del self._checkpoints[:-keep]
 
     # ----------------------------------------------------------------- recovery
     @property

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import SimulationError, Simulator
 from repro.sim.stats import StatsRegistry
 
 
@@ -24,6 +24,9 @@ class Component:
         self.sim = sim
         self.stats = stats if stats is not None else StatsRegistry()
         self._ports: Dict[str, "Port"] = {}
+        #: Cache of this component's counters, keyed by the *short* stat
+        #: name; avoids an f-string + registry lookup per count() call.
+        self._counters: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------ ports
     def add_port(self, port_name: str, latency: int = 1) -> "Port":
@@ -41,13 +44,24 @@ class Component:
     # ------------------------------------------------------------- conveniences
     def schedule(self, delay: int, callback: Callable[[], None], *,
                  priority: int = 0, label: str = "") -> Any:
-        """Schedule a callback relative to the current cycle."""
-        return self.sim.schedule(delay, callback, priority=priority,
-                                 label=label or self.name)
+        """Schedule a callback relative to the current cycle.
+
+        Pushes straight onto the simulator's queue (one call layer less
+        than ``sim.schedule``; this is called once or more per event).
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        sim = self.sim
+        return sim.queue.push(sim._now + delay, callback, priority=priority,
+                              label=label or self.name)
 
     def count(self, stat: str, amount: int = 1) -> None:
         """Increment a named counter on this component's stats registry."""
-        self.stats.counter(f"{self.name}.{stat}").add(amount)
+        counter = self._counters.get(stat)
+        if counter is None:
+            counter = self.stats.counter(f"{self.name}.{stat}")
+            self._counters[stat] = counter
+        counter.value += amount
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name}>"
@@ -67,6 +81,7 @@ class Port:
         self.latency = latency
         self._receiver: Optional[Callable[[Any], None]] = None
         self.messages_sent = 0
+        self._label = f"{owner.name}.{name}"
 
     def bind(self, receiver: Callable[[Any], None]) -> None:
         """Attach the receiving callback (one receiver per port)."""
@@ -85,4 +100,4 @@ class Port:
         receiver = self._receiver
         self.owner.sim.schedule(self.latency + extra_delay,
                                 lambda: receiver(payload),
-                                label=f"{self.owner.name}.{self.name}")
+                                label=self._label)

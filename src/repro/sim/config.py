@@ -128,8 +128,13 @@ class InterconnectConfig:
         return frequency_hz / self.link_bandwidth_bytes_per_sec
 
     def serialization_cycles(self, message_bytes: int, frequency_hz: float) -> int:
-        """Cycles to push ``message_bytes`` through one link."""
-        return max(1, int(round(message_bytes * self.link_cycles_per_byte(frequency_hz))))
+        """Cycles to push ``message_bytes`` through one link.
+
+        Same explicit floor+half-up rounding as
+        :func:`repro.interconnect.link.serialization_cycles_for` (banker's
+        rounding would make .5-cycle boundaries alternate by parity).
+        """
+        return max(1, int(message_bytes * self.link_cycles_per_byte(frequency_hz) + 0.5))
 
 
 @dataclass

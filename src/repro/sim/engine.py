@@ -17,12 +17,38 @@ Design notes
   streams handed to them at construction time.
 * Callbacks are plain callables.  A callback may schedule further events and
   may cancel events it owns.
+
+Hot-path structure (see DESIGN.md §5 for the full performance model):
+
+* **Fused dispatch loop** — :meth:`Simulator.run` owns the heap directly:
+  it discards cancelled heads lazily and pops-and-executes events with no
+  per-event ``peek``/``pop`` function calls, tallying ``events_executed``
+  once at the end.  Execution order is the heap's ``(time, priority,
+  seq)`` order, identical to the classic pop-one-dispatch-one loop.
+  :meth:`EventQueue.pop_batch` / :meth:`EventQueue.unpop` expose
+  same-``(time, priority)`` bulk extraction to external drivers.  (A
+  calendar-bucket variant — one FIFO bucket per key, heap of keys — was
+  measured and rejected: at this simulator's typical batch size of 1-3 the
+  per-key dict/deque overhead exceeds the saved heap sifts.)
+* **Event pool** — fired events are recycled through a bounded freelist
+  instead of being reallocated.  The lifecycle rule this imposes on callers:
+  an :class:`Event` handle is dead once the event has fired (or been
+  cancelled); holding it past that point and calling :meth:`Event.cancel`
+  later may touch an unrelated recycled event.  A callback that stores its
+  own event handle must clear it when it fires.
+* **Heap compaction** — cancelled events stay in the heap (the classic lazy
+  -deletion scheme), but when they outnumber live events the queue rebuilds
+  the heap from the live entries only.  Compaction preserves dispatch order
+  (the ``(time, priority, seq)`` keys are untouched) and bounds both memory
+  and the cancelled-entry skip loops.
+* **Reference hygiene** — ``callback`` (and the queue backref) are nulled
+  the moment an event is cancelled or recycled, so the heap never keeps
+  closures alive for the remainder of a long campaign run.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Callable, Iterator, List, Optional, Tuple
 
 
@@ -49,11 +75,17 @@ class Event:
         Monotonic sequence number assigned by the queue; guarantees FIFO
         ordering among events with equal ``(time, priority)``.
     callback:
-        Zero-argument callable invoked when the event fires.
+        Zero-argument callable invoked when the event fires.  Nulled once
+        the event is cancelled or recycled so the heap retains no closures.
     label:
         Optional human-readable tag (used in traces and error messages).
     cancelled:
         Cancelled events stay in the heap but are skipped when popped.
+
+    Lifecycle: a handle returned by :meth:`EventQueue.push` /
+    :meth:`Simulator.schedule` is valid until the event fires or is
+    cancelled, after which the kernel may recycle the object for a new
+    event.  Do not retain fired events (DESIGN.md §5).
     """
 
     __slots__ = ("time", "priority", "seq", "callback", "label", "cancelled",
@@ -74,12 +106,24 @@ class Event:
         """Mark the event as cancelled; it will be dropped when reached.
 
         Equivalent to :meth:`EventQueue.cancel` — the owning queue's live
-        count is kept consistent either way.
+        count is kept consistent either way.  The callback reference is
+        released immediately so a cancelled entry parked deep in the heap
+        cannot keep a closure (and everything it captures) alive.
         """
         if not self.cancelled:
             self.cancelled = True
-            if self._queue is not None:
-                self._queue._live -= 1
+            self.callback = None
+            queue = self._queue
+            if queue is not None:
+                # Inlined queue bookkeeping — cancels are a hot path in
+                # timeout-heavy protocols.
+                self._queue = None
+                live = queue._live - 1
+                queue._live = live
+                heap_size = len(queue._heap)
+                if (heap_size >= queue.COMPACT_MIN_ENTRIES
+                        and live < (heap_size >> 1)):
+                    queue._compact()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = " cancelled" if self.cancelled else ""
@@ -94,10 +138,18 @@ _HeapEntry = Tuple[int, int, int, Event]
 class EventQueue:
     """Priority queue of :class:`Event` objects keyed by time."""
 
+    #: Heaps smaller than this are never compacted (rebuild cost would
+    #: exceed the skip cost it saves).  Read by :meth:`Event.cancel`.
+    COMPACT_MIN_ENTRIES = 512
+    #: Upper bound on pooled Event objects kept for reuse.
+    FREELIST_MAX = 8192
+
     def __init__(self) -> None:
         self._heap: List[_HeapEntry] = []
-        self._seq = itertools.count()
+        self._seq = 0
         self._live = 0
+        self._free: List[Event] = []
+        self.compactions = 0
 
     def __len__(self) -> int:
         return self._live
@@ -107,8 +159,20 @@ class EventQueue:
         """Schedule ``callback`` at absolute cycle ``time`` and return the event."""
         if time < 0:
             raise SimulationError(f"cannot schedule event at negative time {time}")
-        seq = next(self._seq)
-        event = Event(time, priority, seq, callback, label, queue=self)
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.priority = priority
+            event.seq = seq
+            event.callback = callback
+            event.label = label
+            event.cancelled = False
+            event._queue = self
+        else:
+            event = Event(time, priority, seq, callback, label, queue=self)
         heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event
@@ -127,20 +191,97 @@ class EventQueue:
             return event
         return None
 
+    def pop_batch(self, batch: List[Event],
+                  max_count: Optional[int] = None) -> int:
+        """Pop every live event sharing the minimal ``(time, priority)``.
+
+        Appends the events to ``batch`` in ``seq`` (FIFO) order and returns
+        how many were appended (0 when the queue is empty).  ``max_count``
+        caps the batch; leftover same-key events simply stay queued and come
+        out first on the next call.
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        count = 0
+        batch_time = -1
+        batch_priority = 0
+        while heap:
+            entry = heap[0]
+            event = entry[3]
+            if event.cancelled:
+                heappop(heap)
+                continue
+            if count == 0:
+                batch_time = entry[0]
+                batch_priority = entry[1]
+            elif entry[0] != batch_time or entry[1] != batch_priority:
+                break
+            heappop(heap)
+            event._queue = None
+            batch.append(event)
+            count += 1
+            if max_count is not None and count >= max_count:
+                break
+        self._live -= count
+        return count
+
+    def unpop(self, events: List[Event]) -> None:
+        """Return popped-but-unexecuted events to the queue (stop() mid-batch).
+
+        Heap keys are reconstructed from the events' unchanged
+        ``(time, priority, seq)``, so dispatch order is exactly preserved.
+        """
+        for event in events:
+            if event.cancelled:
+                continue
+            event._queue = self
+            heapq.heappush(self._heap,
+                           (event.time, event.priority, event.seq, event))
+            self._live += 1
+
+    def recycle(self, event: Event) -> None:
+        """Return a fired event to the pool (kernel use only).
+
+        Any handle to the event becomes dead: the object may be handed out
+        again by the next :meth:`push`.
+        """
+        event.callback = None
+        event.label = ""
+        event._queue = None
+        event.cancelled = True
+        free = self._free
+        if len(free) < self.FREELIST_MAX:
+            free.append(event)
+
     def peek_time(self) -> Optional[int]:
         """Return the firing time of the next live event without popping it."""
-        while self._heap and self._heap[0][3].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0][0]
+        return heap[0][0]
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event."""
         event.cancel()
 
+    def _compact(self) -> None:
+        """Drop cancelled entries and rebuild the heap from live ones.
+
+        Keys are untouched, so the total dispatch order is identical — only
+        the heap's internal arrangement changes.
+        """
+        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        heapq.heapify(self._heap)
+        self.compactions += 1
+
     def drain(self) -> Iterator[Event]:
-        """Yield and remove every remaining live event (used at teardown)."""
+        """Yield and remove every remaining live event (used at teardown).
+
+        Drained events are handed to the caller for inspection and are *not*
+        recycled into the pool.
+        """
         while True:
             event = self.pop()
             if event is None:
@@ -204,37 +345,72 @@ class Simulator:
         """Run events until the queue drains, ``until`` cycles, or ``max_events``.
 
         Returns the simulation time at which execution stopped.
+
+        The dispatch loop is fused with the queue (direct heap access, no
+        per-event ``peek``/``pop`` calls): events come off the heap in
+        ``(time, priority, seq)`` order and execute immediately, so the
+        order is identical to the classic pop-one-dispatch-one loop —
+        including events a callback schedules for the current cycle, whose
+        higher sequence numbers place them after the already-queued ones.
         """
         self._running = True
         self._stop_requested = False
         executed = 0
+        queue = self.queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        freelist = queue._free
+        freelist_max = queue.FREELIST_MAX
         try:
             while True:
                 if self._stop_requested:
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                next_time = self.queue.peek_time()
-                if next_time is None:
+                # Drop cancelled heads lazily (compaction keeps this short).
+                while heap:
+                    entry = heap[0]
+                    if entry[3].cancelled:
+                        heappop(heap)
+                        # Compaction may have replaced the heap list.
+                        heap = queue._heap
+                    else:
+                        break
+                else:
                     made_progress = False
                     for hook in self._quiesce_hooks:
                         hook()
-                    if self.queue.peek_time() is not None:
+                    heap = queue._heap
+                    if queue.peek_time() is not None:
                         made_progress = True
                     if not made_progress:
                         break
                     continue
+                next_time = entry[0]
                 if until is not None and next_time > until:
                     self._now = until
                     break
-                event = self.queue.pop()
-                assert event is not None
-                self._now = event.time
+                heappop(heap)
+                event = entry[3]
+                queue._live -= 1
+                event._queue = None
+                self._now = next_time
                 event.callback()
                 executed += 1
-                self.events_executed += 1
+                # Inline of queue.recycle() — this is the single hottest
+                # statement sequence in the simulator.
+                event.callback = None
+                event.label = ""
+                event.cancelled = True
+                if len(freelist) < freelist_max:
+                    freelist.append(event)
+                # A callback may compact the queue (via cancel); re-read.
+                heap = queue._heap
         finally:
             self._running = False
+            # Deferred tally (one attribute increment per event saved);
+            # additive, so a nested run() inside a callback stays correct.
+            self.events_executed += executed
         return self._now
 
     def run_until_idle(self, max_events: Optional[int] = None) -> int:

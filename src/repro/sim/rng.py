@@ -11,9 +11,49 @@ entire run is reproducible from a single root seed.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Sequence
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
+
+
+class BufferedIntegers:
+    """Chunked prefetch of ``Generator.integers(low, high)`` draws.
+
+    numpy fills ``integers(low, high, size=n)`` element by element with the
+    same bounded-rejection routine as ``n`` scalar calls, consuming the bit
+    stream in the same order — so prefetching a chunk yields a sequence
+    *bit-identical* to per-draw scalar calls (pinned by
+    ``test_stats_rng_config``).  The only requirement is that the underlying
+    stream is consumed exclusively through this buffer: interleaving other
+    draws on the same stream would consume the same bits in a different
+    order.
+    """
+
+    __slots__ = ("_stream", "_low", "_high", "_chunk", "_buf", "_pos")
+
+    def __init__(self, stream: np.random.Generator, low: int, high: int,
+                 chunk: int = 4096) -> None:
+        if chunk <= 0:
+            raise ValueError("chunk must be positive")
+        self._stream = stream
+        self._low = low
+        self._high = high
+        self._chunk = chunk
+        self._buf: Sequence[int] = ()
+        self._pos = 0
+
+    def next(self) -> int:
+        pos = self._pos
+        buf = self._buf
+        if pos >= len(buf):
+            # .tolist() converts the whole chunk to plain ints once, which
+            # is far cheaper than one numpy-scalar __int__ per draw.
+            buf = self._stream.integers(self._low, self._high,
+                                        size=self._chunk).tolist()
+            self._buf = buf
+            pos = 0
+        self._pos = pos + 1
+        return buf[pos]
 
 
 class DeterministicRng:
@@ -22,6 +62,7 @@ class DeterministicRng:
     def __init__(self, root_seed: int = 0) -> None:
         self.root_seed = int(root_seed)
         self._streams: Dict[str, np.random.Generator] = {}
+        self._int_buffers: Dict[Tuple[str, int, int], BufferedIntegers] = {}
 
     def _seed_for(self, name: str) -> int:
         digest = hashlib.sha256(f"{self.root_seed}:{name}".encode()).digest()
@@ -41,6 +82,18 @@ class DeterministicRng:
     def randint(self, name: str, low: int, high: int) -> int:
         """Uniform integer in ``[low, high)`` drawn from the named stream."""
         return int(self.stream(name).integers(low, high))
+
+    def buffered_randint(self, name: str, low: int, high: int) -> int:
+        """Like :meth:`randint` but prefetched in chunks — bit-identical to
+        the scalar call sequence for a stream consumed only through this
+        method with fixed bounds (see :class:`BufferedIntegers`).  Use for
+        per-event hot paths (e.g. the processor's compute-gap jitter)."""
+        key = (name, low, high)
+        buf = self._int_buffers.get(key)
+        if buf is None:
+            buf = BufferedIntegers(self.stream(name), low, high)
+            self._int_buffers[key] = buf
+        return buf.next()
 
     def random(self, name: str) -> float:
         """Uniform float in ``[0, 1)`` from the named stream."""

@@ -23,6 +23,19 @@ protocol; the generator controls exactly those properties:
 Reference streams are fully deterministic given a seed, which makes every
 experiment reproducible and lets the SafetyNet rollback re-execute exactly
 the same work.
+
+Generation is vectorized (stream schema v2): classification, address and
+run-length randomness come from separate named substreams of the workload's
+RNG tree and are drawn in chunks of thousands of values per ``Generator``
+call, instead of one scalar draw per reference.  The emitted stream for a
+given ``(profile, seed, node, n)`` is pinned by golden determinism tests
+(``tests/test_processor_workloads.py``): any change to the consumption
+schedule — chunk size, draw order, substream names — is a deliberate,
+test-visible schema change.  (The pre-v2 scalar generator drew every
+call site from one shared stream, which is inherently unvectorizable: the
+bit-stream words reach call sites in data-dependent order, so chunking
+necessarily re-maps them.  v2 re-keys the substreams once and pins the new
+streams instead.)
 """
 
 from __future__ import annotations
@@ -127,75 +140,205 @@ class SyntheticWorkload:
                 + p.private_blocks * self.num_processors)
 
     # -------------------------------------------------------------- generation
+    #: Iterations classified per vectorized chunk.  Part of the pinned
+    #: stream schema: changing it changes the draw schedule and therefore
+    #: the emitted streams (the golden tests will say so).
+    CHUNK_ITERATIONS = 8192
+
     def generate(self, node: int, num_references: int) -> List[Reference]:
-        """Generate the reference stream for one processor."""
+        """Generate the reference stream for one processor (vectorized).
+
+        Each chunk classifies up to :data:`CHUNK_ITERATIONS` iterations from
+        the ``.class`` substream (an iteration emits one reference, or two
+        for the read-modify-write lock/migratory patterns), then draws every
+        category's addresses in one ``Generator`` call each from the
+        ``.addr`` substream and the private sequential-run structure from
+        the ``.run`` substream.  Repeated calls for the same node continue
+        the node's streams, exactly like the scalar generator did.
+        """
         if num_references < 0:
             raise ValueError("num_references must be non-negative")
         p = self.profile
-        stream = self.rng.stream(f"workload.{p.name}.node{node}")
-        refs: List[Reference] = []
-        seq_remaining = 0
-        seq_cursor = 0
-        private_cursor = 0
+        base = f"workload.{p.name}.node{node}"
+        cls_stream = self.rng.stream(f"{base}.class")
+        addr_stream = self.rng.stream(f"{base}.addr")
+        run_stream = self.rng.stream(f"{base}.run")
 
-        draws = stream.random(num_references)
-        kind_draws = stream.random(num_references)
+        store_chunks: List[np.ndarray] = []
+        addr_chunks: List[np.ndarray] = []
+        produced = 0
+        # Sequential-run state [cursor, remaining], carried across chunks of
+        # one call but reset per call (the scalar generator's semantics).
+        run_state = [0, 0]
+        while produced < num_references:
+            stores, addrs = self._generate_chunk(
+                node, min(self.CHUNK_ITERATIONS, num_references - produced),
+                cls_stream, addr_stream, run_stream, run_state)
+            store_chunks.append(stores)
+            addr_chunks.append(addrs)
+            produced += len(stores)
 
-        i = 0
-        while len(refs) < num_references:
-            u = draws[i % len(draws)] if len(draws) else 0.0
-            k = kind_draws[i % len(kind_draws)] if len(kind_draws) else 0.0
-            i += 1
+        store_flags: List[bool] = []
+        addresses: List[int] = []
+        for stores, addrs in zip(store_chunks, addr_chunks):
+            store_flags.extend(stores.tolist())
+            addresses.extend(addrs.tolist())
+        del store_flags[num_references:]
+        del addresses[num_references:]
+        load, store = MemoryOp.LOAD, MemoryOp.STORE
+        return [(store if is_store else load, address)
+                for is_store, address in zip(store_flags, addresses)]
 
-            if u < p.lock_fraction:
-                # Lock acquire/release: read-modify-write of a hot block.
-                addr = self.lock_address(int(stream.integers(0, p.lock_blocks)))
-                refs.append((MemoryOp.LOAD, addr))
-                if len(refs) < num_references:
-                    refs.append((MemoryOp.STORE, addr))
-                continue
-            u -= p.lock_fraction
+    def _generate_chunk(self, node: int, iterations: int,
+                        cls_stream: np.random.Generator,
+                        addr_stream: np.random.Generator,
+                        run_stream: np.random.Generator,
+                        run_state: List[int],
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+        """One vectorized chunk: ``(store_mask, addresses)`` arrays.
 
-            if u < p.migratory_fraction:
-                # Migratory record: read then write, ownership migrates.
-                addr = self.migratory_address(int(stream.integers(0, p.migratory_records)))
-                refs.append((MemoryOp.LOAD, addr))
-                if len(refs) < num_references:
-                    refs.append((MemoryOp.STORE, addr))
-                continue
-            u -= p.migratory_fraction
+        May emit up to ``2 * iterations`` references (lock/migratory
+        iterations emit a load+store pair); the caller truncates.
+        """
+        p = self.profile
+        bb = self.block_bytes
+        u = cls_stream.random(iterations)
+        k = cls_stream.random(iterations)
 
-            if u < p.shared_fraction:
-                index = self._zipf_index(stream, p.shared_blocks, p.shared_zipf_alpha)
-                addr = self.shared_address(index)
-                op = MemoryOp.STORE if k < p.shared_write_fraction else MemoryOp.LOAD
-                refs.append((op, addr))
-                continue
+        # Branch classification, with the same subtract-then-compare
+        # cascade as the scalar generator's if/elif chain.
+        lock_m = u < p.lock_fraction
+        u2 = u - p.lock_fraction
+        mig_m = ~lock_m & (u2 < p.migratory_fraction)
+        u3 = u2 - p.migratory_fraction
+        shared_m = ~lock_m & ~mig_m & (u3 < p.shared_fraction)
+        private_m = ~(lock_m | mig_m | shared_m)
 
-            # Private reference, possibly continuing a sequential run.
-            if seq_remaining > 0:
-                seq_cursor += 1
-                seq_remaining -= 1
-            elif k < p.sequential_run_probability:
-                seq_cursor = int(stream.integers(0, p.private_blocks))
-                seq_remaining = max(1, int(stream.geometric(1.0 / p.sequential_run_length)))
+        pair_m = lock_m | mig_m
+        refs_per_iter = np.where(pair_m, 2, 1)
+        first_ref_pos = np.cumsum(refs_per_iter) - refs_per_iter
+        total_refs = int(first_ref_pos[-1]) + int(refs_per_iter[-1])
+
+        store_mask = np.zeros(total_refs, dtype=bool)
+        addresses = np.zeros(total_refs, dtype=np.int64)
+
+        # Lock / migratory read-modify-write pairs: LOAD then STORE of the
+        # same hot block.
+        for mask, region_base, region_blocks in (
+                (lock_m, self._lock_base, p.lock_blocks),
+                (mig_m, self._migratory_base, p.migratory_records)):
+            count = int(mask.sum())
+            if count:
+                idx = addr_stream.integers(0, region_blocks, size=count)
+                pair_addr = region_base + idx * bb
+                pos = first_ref_pos[mask]
+                addresses[pos] = pair_addr
+                addresses[pos + 1] = pair_addr
+                store_mask[pos + 1] = True
+
+        # Shared region, zipf-skewed toward hot blocks.
+        shared_count = int(shared_m.sum())
+        if shared_count:
+            idx = self._zipf_indices(addr_stream, p.shared_blocks,
+                                     p.shared_zipf_alpha, shared_count)
+            pos = first_ref_pos[shared_m]
+            addresses[pos] = self._shared_base + idx * bb
+            store_mask[pos] = k[shared_m] < p.shared_write_fraction
+
+        # Private working set: sequential runs + random singles.
+        private_count = int(private_m.sum())
+        if private_count:
+            cursors = self._private_cursors(private_count, addr_stream,
+                                            run_stream, run_state)
+            pos = first_ref_pos[private_m]
+            node_base = (self._private_base
+                         + node * p.private_blocks * bb)
+            addresses[pos] = node_base + (cursors % p.private_blocks) * bb
+            store_mask[pos] = k[private_m] < p.private_write_fraction
+
+        return store_mask, addresses
+
+    def _private_cursors(self, count: int,
+                         addr_stream: np.random.Generator,
+                         run_stream: np.random.Generator,
+                         run_state: List[int]) -> np.ndarray:
+        """Block cursors for ``count`` private references, in order.
+
+        The private stream is a sequence of segments: with probability
+        ``sequential_run_probability`` a sequential run of
+        ``1 + max(1, Geometric(1/len))`` blocks from a random start,
+        otherwise a single random block.  Segment structure comes from the
+        ``.run`` substream, segment start blocks from ``.addr``; a segment
+        that overruns the request is carried into the next chunk via
+        ``run_state`` — exactly the scalar generator's run state,
+        vectorized.
+        """
+        p = self.profile
+        pieces: List[np.ndarray] = []
+        filled = 0
+
+        # Continue a run left over from the previous chunk.
+        if run_state[1] > 0:
+            take = min(run_state[1], count)
+            pieces.append(np.arange(run_state[0] + 1,
+                                    run_state[0] + take + 1,
+                                    dtype=np.int64))
+            run_state[0] += take
+            run_state[1] -= take
+            filled += take
+
+        while filled < count:
+            # Expected segment length is >= 1; draw a generous batch so the
+            # loop almost always runs once.
+            need = count - filled
+            nseg = max(16, need // 2)
+            is_run = run_stream.random(nseg) < p.sequential_run_probability
+            run_extra = np.maximum(
+                1, run_stream.geometric(1.0 / p.sequential_run_length,
+                                        size=nseg))
+            lengths = np.where(is_run, 1 + run_extra, 1)
+            starts = addr_stream.integers(0, p.private_blocks, size=nseg)
+
+            ends = np.cumsum(lengths)
+            last = int(np.searchsorted(ends, need, side="left"))
+            if last >= nseg:
+                # Batch fell short: consume it fully and loop for more.
+                used, consumed = nseg, int(ends[-1])
             else:
-                private_cursor = int(stream.integers(0, p.private_blocks))
-                seq_cursor = private_cursor
-            addr = self.private_address(node, seq_cursor)
-            op = MemoryOp.STORE if k < p.private_write_fraction else MemoryOp.LOAD
-            refs.append((op, addr))
+                used, consumed = last + 1, need
+            seg_starts = starts[:used]
+            seg_lengths = lengths[:used].copy()
+            overrun = int(ends[used - 1]) - consumed
+            if overrun > 0:
+                seg_lengths[-1] -= overrun
+            offsets = np.arange(consumed, dtype=np.int64) - np.repeat(
+                np.cumsum(seg_lengths) - seg_lengths, seg_lengths)
+            pieces.append(np.repeat(seg_starts, seg_lengths) + offsets)
+            filled += consumed
 
-        return refs[:num_references]
+            last_start = int(seg_starts[-1])
+            last_used = int(seg_lengths[-1])
+            run_state[0] = last_start + last_used - 1
+            run_state[1] = overrun if overrun > 0 else 0
+
+        return pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
 
     @staticmethod
-    def _zipf_index(stream: np.random.Generator, n: int, alpha: float) -> int:
+    def _zipf_indices(stream: np.random.Generator, n: int, alpha: float,
+                      count: int) -> np.ndarray:
+        """``count`` zipf-distributed indices in ``[0, n)`` (vectorized
+        rejection; uniform for degenerate exponents)."""
         if alpha <= 1.0:
-            return int(stream.integers(0, n))
-        while True:
-            value = int(stream.zipf(alpha)) - 1
-            if value < n:
-                return value
+            return stream.integers(0, n, size=count)
+        out = np.empty(count, dtype=np.int64)
+        filled = 0
+        while filled < count:
+            draw = stream.zipf(alpha, size=max(16, count - filled)) - 1
+            valid = draw[draw < n]
+            take = min(len(valid), count - filled)
+            out[filled:filled + take] = valid[:take]
+            filled += take
+        return out
 
     def generate_all(self, references_per_processor: int) -> Dict[int, List[Reference]]:
         """Generate streams for every processor."""

@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Measure kernel performance and maintain ``BENCH_kernel.json``.
+
+The committed ``BENCH_kernel.json`` at the repo root is the project's
+performance trajectory: a ``baseline`` section (the numbers measured before
+the kernel overhaul of PR 2, on the pre-overhaul code) and a ``current``
+section (the latest measured numbers), plus the derived speedups.  CI runs
+``--quick --compare BENCH_kernel.json`` after every change and prints the
+delta against the committed numbers — non-gating, because absolute wall
+-clock depends on the runner, but a sustained regression is visible in the
+artifact history.
+
+Usage::
+
+    PYTHONPATH=src python tools/perf_report.py                # full suite
+    PYTHONPATH=src python tools/perf_report.py --quick        # CI-sized
+    PYTHONPATH=src python tools/perf_report.py --only event_queue undo_log
+    PYTHONPATH=src python tools/perf_report.py --output BENCH_kernel.json \
+        --baseline-from old_numbers.json                      # refresh file
+    PYTHONPATH=src python tools/perf_report.py --quick --compare BENCH_kernel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from typing import Any, Dict, List, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."))
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from benchmarks.bench_kernel import BENCHMARKS, run_all  # noqa: E402
+
+SCHEMA = "repro.bench_kernel/v1"
+
+#: Benchmark-result keys that carry throughput (higher is better) and cost
+#: (lower is better), used for speedup derivation and delta printing.
+RATE_KEYS = ("events_per_sec", "references_per_sec", "records_per_sec",
+             "decisions_per_sec")
+COST_KEYS = ("wall_seconds",)
+
+
+def _walk_metrics(results: Dict[str, Any], prefix: str = "") -> Dict[str, float]:
+    """Flatten benchmark results into {"bench.metric": value} for comparison."""
+    out: Dict[str, float] = {}
+    for key, value in results.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(_walk_metrics(value, prefix=f"{path}."))
+        elif key in RATE_KEYS or key in COST_KEYS:
+            out[path] = float(value)
+    return out
+
+
+def derive_speedups(baseline: Dict[str, Any],
+                    current: Dict[str, Any]) -> Dict[str, float]:
+    """Speedup of ``current`` over ``baseline`` per metric (>1 is faster)."""
+    base = _walk_metrics(baseline)
+    cur = _walk_metrics(current)
+    speedups: Dict[str, float] = {}
+    for path in sorted(set(base) & set(cur)):
+        b, c = base[path], cur[path]
+        if b <= 0 or c <= 0:
+            continue
+        leaf = path.rsplit(".", 1)[-1]
+        speedups[path] = round(b / c if leaf in COST_KEYS else c / b, 3)
+    return speedups
+
+
+def print_delta(reference: Dict[str, Any], measured: Dict[str, Any], *,
+                rates_only: bool = False) -> None:
+    """Print measured-vs-reference deltas, one line per metric.
+
+    ``rates_only`` drops the cost metrics (wall_seconds): when the two runs
+    used different input sizes (quick vs full), absolute wall-clock is
+    incomparable but throughput rates still are.
+    """
+    speedups = derive_speedups(reference, measured)
+    if rates_only:
+        speedups = {path: s for path, s in speedups.items()
+                    if path.rsplit(".", 1)[-1] not in COST_KEYS}
+    if not speedups:
+        print("no overlapping metrics to compare")
+        return
+    width = max(len(path) for path in speedups)
+    for path, speedup in speedups.items():
+        marker = "+" if speedup >= 1.0 else "-"
+        print(f"  {path:<{width}}  {speedup:6.2f}x {marker}")
+
+
+def machine_info() -> Dict[str, str]:
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized inputs (seconds, noisier numbers)")
+    parser.add_argument("--only", nargs="+", metavar="BENCH",
+                        choices=sorted(BENCHMARKS),
+                        help="run only these benchmarks")
+    parser.add_argument("--output", metavar="FILE",
+                        help="write the full BENCH document to FILE")
+    parser.add_argument("--baseline-from", metavar="FILE",
+                        help="take the 'baseline' section from FILE (a prior "
+                             "--output document or raw results)")
+    parser.add_argument("--compare", metavar="FILE",
+                        help="print speedup of this run vs FILE's 'current' "
+                             "(or 'baseline') section; never gates")
+    args = parser.parse_args(argv)
+
+    results = run_all(quick=args.quick, only=args.only)
+    print(json.dumps(results, indent=2, sort_keys=True))
+
+    if args.compare:
+        with open(args.compare, "r", encoding="utf-8") as handle:
+            committed = json.load(handle)
+        reference = committed.get("current") or committed.get("baseline") or committed
+        size_mismatch = committed.get("quick") is not None \
+            and bool(committed.get("quick")) != args.quick
+        note = ""
+        if size_mismatch:
+            note = ("; input sizes differ (quick vs full), comparing "
+                    "throughput rates only")
+        print(f"\ndelta vs {args.compare} "
+              f"({'quick' if args.quick else 'full'} inputs; >1.00x is faster"
+              f"{note}):")
+        print_delta(reference, results, rates_only=size_mismatch)
+
+    if args.output:
+        baseline: Dict[str, Any] = {}
+        if args.baseline_from:
+            with open(args.baseline_from, "r", encoding="utf-8") as handle:
+                prior = json.load(handle)
+            baseline = prior.get("baseline") or prior.get("results") or prior
+        elif os.path.exists(args.output):
+            with open(args.output, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle).get("baseline", {})
+        document = {
+            "schema": SCHEMA,
+            "quick": args.quick,
+            "machine": machine_info(),
+            "baseline": baseline,
+            "current": results,
+            "speedup_vs_baseline": derive_speedups(baseline, results),
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
