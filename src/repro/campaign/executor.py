@@ -208,12 +208,28 @@ class ParallelExecutor(Executor):
             results[index] = result
         if pending:
             pool = self._ensure_pool()
-            futures = [(index, pool.submit(execute_spec, spec))
+            futures = [(index, spec, pool.submit(execute_spec, spec))
                        for index, spec in pending]
-            for (index, future), (_, spec) in zip(futures, pending):
-                result = future.result()
+            # Collect every future before surfacing a failure: a design point
+            # that raises (bad config, unknown topology, broken workload)
+            # must not discard — or worse, corrupt — the results of specs
+            # that completed fine.  Completed results are cached as usual,
+            # then the *original* exception (which ProcessPoolExecutor
+            # pickles back from the worker) is re-raised.
+            first_error: Optional[Exception] = None
+            for index, spec, future in futures:
+                try:
+                    result = future.result()
+                except Exception as exc:  # noqa: BLE001 - KeyboardInterrupt
+                    # and friends must still propagate immediately; worker
+                    # failures (incl. BrokenProcessPool) are Exceptions.
+                    if first_error is None:
+                        first_error = exc
+                    continue
                 self._store(spec, result)
                 results[index] = result
+            if first_error is not None:
+                raise first_error
         return results  # type: ignore[return-value]
 
     def close(self) -> None:

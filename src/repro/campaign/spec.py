@@ -43,8 +43,19 @@ def _jsonable(value: Any) -> Any:
 
 
 def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
-    """Canonical JSON-safe dictionary form of a :class:`SystemConfig`."""
-    return _jsonable(asdict(config))
+    """Canonical JSON-safe dictionary form of a :class:`SystemConfig`.
+
+    A ``topology`` of ``None`` (the legacy "torus of mesh_width x
+    mesh_height" selection) is omitted from the encoding entirely: design
+    points that predate the pluggable topology layer keep byte-identical
+    canonical forms — and therefore stable content hashes / cache keys —
+    while any explicitly chosen geometry hashes in as new data.
+    """
+    payload = _jsonable(asdict(config))
+    interconnect = payload.get("interconnect")
+    if isinstance(interconnect, dict) and interconnect.get("topology") is None:
+        del interconnect["topology"]
+    return payload
 
 
 def canonical_json(payload: Any) -> str:

@@ -27,6 +27,7 @@ from repro.sim.config import (
     RoutingPolicy,
     SpeculationConfig,
     SystemConfig,
+    TopologyConfig,
     WorkloadConfig,
 )
 from repro.system.results import RunResult
@@ -54,10 +55,20 @@ def benchmark_config(workload: str = "jbb", *, seed: int = 1,
                      link_bandwidth: float = 400e6,
                      protocol: ProtocolKind = ProtocolKind.DIRECTORY,
                      speculative_no_vc: bool = False,
-                     switch_buffer_capacity: int = 16) -> SystemConfig:
-    """A proportionally scaled 16-node system for benchmark runs."""
+                     switch_buffer_capacity: int = 16,
+                     num_processors: int = 16,
+                     topology: Optional[str] = None) -> SystemConfig:
+    """A proportionally scaled system for benchmark runs (16 nodes default).
+
+    ``num_processors`` scales the machine (one switch per processor; 2D
+    geometries use the most-square grid, e.g. 64 -> 8x8).  ``topology``
+    selects a registered geometry kind; ``None`` keeps the paper's torus via
+    the legacy width/height fields, which also keeps pre-topology-layer
+    design points hashing identically (see DESIGN.md §6).
+    """
+    width, height = TopologyConfig.preset("torus", num_processors).dims
     return SystemConfig(
-        num_processors=16,
+        num_processors=num_processors,
         protocol=protocol,
         variant=variant,
         l1=CacheConfig(16 * 1024, 2),
@@ -65,7 +76,9 @@ def benchmark_config(workload: str = "jbb", *, seed: int = 1,
         memory_bytes=64 * 1024 * 1024,
         memory_latency_cycles=400,
         interconnect=InterconnectConfig(
-            mesh_width=4, mesh_height=4,
+            mesh_width=width, mesh_height=height,
+            topology=(TopologyConfig.preset(topology, num_processors)
+                      if topology is not None else None),
             link_bandwidth_bytes_per_sec=link_bandwidth,
             link_latency_cycles=8,
             switch_buffer_capacity=switch_buffer_capacity,

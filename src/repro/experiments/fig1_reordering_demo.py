@@ -16,7 +16,7 @@ from typing import Any, Dict, List
 
 from repro.campaign.registry import CampaignContext, register_experiment
 from repro.interconnect.message import MessageClass
-from repro.interconnect.network import TorusNetwork, make_message
+from repro.interconnect.network import InterconnectNetwork, make_message
 from repro.sim.config import InterconnectConfig, RoutingPolicy
 from repro.sim.engine import Simulator
 from repro.sim.rng import DeterministicRng
@@ -53,7 +53,7 @@ def _run_one(policy: RoutingPolicy, *, pairs: int, seed: int) -> int:
         mesh_width=4, mesh_height=4, routing=policy,
         link_bandwidth_bytes_per_sec=400e6, link_latency_cycles=8,
         switch_buffer_capacity=16)
-    network = TorusNetwork(sim, config, frequency_hz=4e9,
+    network = InterconnectNetwork(sim, config, frequency_hz=4e9,
                            rng=DeterministicRng(seed))
     arrivals: Dict[int, int] = {}
 

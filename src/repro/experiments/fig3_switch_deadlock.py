@@ -18,7 +18,7 @@ from typing import Any, Dict, List
 from repro.campaign.registry import CampaignContext, register_experiment
 from repro.interconnect.deadlock import DeadlockReport, detect_network_deadlock
 from repro.interconnect.message import MessageClass
-from repro.interconnect.network import TorusNetwork, make_message
+from repro.interconnect.network import InterconnectNetwork, make_message
 from repro.sim.config import InterconnectConfig, RoutingPolicy
 from repro.sim.engine import Simulator
 
@@ -73,7 +73,7 @@ def _run_one(*, speculative_no_vc: bool, messages: int, buffer_capacity: int):
         switch_buffer_capacity=buffer_capacity,
         speculative_no_vc=speculative_no_vc,
         nic_injection_limit=2)
-    network = TorusNetwork(sim, config, frequency_hz=4e9)
+    network = InterconnectNetwork(sim, config, frequency_hz=4e9)
     delivered = {"count": 0}
 
     def receive(message) -> None:

@@ -1,0 +1,135 @@
+"""Topology × scale campaign — does the speculation argument transfer?
+
+The paper evaluates one fixed design point: 16 nodes on a 2D torus.  But
+how reachable deadlock is, how often adaptive routing reorders messages and
+what a recovery costs all depend on the interconnect geometry and the
+system scale.  This experiment sweeps the speculative directory protocol
+across {torus, mesh, ring} × {4, 16, 64} nodes × {static, adaptive}
+routing and reports, per design point:
+
+* runtime and mean message latency (the geometry's latency signature),
+* total recoveries and the interconnect-deadlock subset,
+* the adaptive reorder rate (the mis-speculation exposure), and
+* simulator events per *simulated* second — a deterministic throughput
+  metric (wall-clock would differ between serial and parallel executors,
+  and the campaign contract is byte-identical reports either way).
+
+Quick mode drops the 64-node scale; full mode caps its reference streams so
+the largest machines stay in benchmark time (EXPERIMENTS.md documents the
+preset ↔ reported-number mapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.campaign.executor import Executor
+from repro.campaign.registry import CampaignContext, register_experiment
+from repro.campaign.spec import RunSpec, SweepSpec
+from repro.core.events import SpeculationKind
+from repro.experiments.common import (
+    BENCH_CYCLES_PER_SECOND,
+    benchmark_config,
+    run_specs,
+)
+from repro.sim.config import RoutingPolicy, SystemConfig
+
+#: The geometry axis (registry kinds) and the scale axis of the sweep.
+TOPOLOGIES: Sequence[str] = ("torus", "mesh", "ring")
+SCALES: Sequence[int] = (4, 16, 64)
+QUICK_SCALES: Sequence[int] = (4, 16)
+ROUTINGS: Sequence[RoutingPolicy] = (RoutingPolicy.STATIC, RoutingPolicy.ADAPTIVE)
+#: Per-processor reference cap for the 64-node machines (a full-length
+#: stream on 64 processors would dominate the whole campaign's wall-clock).
+LARGE_SCALE_REFERENCE_CAP = 200
+#: Explicit run horizon.  The systems' default bound (1M cycles) is tuned
+#: for the 16-node torus; the ring's linear diameter needs more room, and a
+#: truncated point would report geometry-dependent truncation instead of
+#: geometry-dependent latency.
+MAX_CYCLES = 20_000_000
+
+
+@dataclass
+class TopologyScaleResult:
+    """Per-design-point metrics of the topology × scale × routing grid."""
+
+    workload: str
+    #: "kind@nodes/routing" -> metric row, in sweep order.
+    rows: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def format(self) -> str:
+        return format_table(
+            f"Topology x scale sweep ({self.workload}, speculative directory protocol)",
+            self.rows,
+            columns=["runtime_cycles", "mean_message_latency", "reorder_rate",
+                     "deadlock_recoveries", "recoveries", "events_per_sim_second"])
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        return [{"point": label, **row} for label, row in self.rows.items()]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"workload": self.workload, "rows": self.to_rows()}
+
+
+def _point_config(workload: str, kind: str, nodes: int,
+                  routing: RoutingPolicy, *, references: int,
+                  seed: int) -> SystemConfig:
+    refs = min(references, LARGE_SCALE_REFERENCE_CAP) if nodes >= 64 else references
+    return benchmark_config(workload, seed=seed, references=refs,
+                            routing=routing, num_processors=nodes,
+                            topology=kind)
+
+
+def run(workload: str = "jbb", *,
+        topologies: Sequence[str] = TOPOLOGIES,
+        scales: Sequence[int] = SCALES,
+        routings: Sequence[RoutingPolicy] = ROUTINGS,
+        references: int = 400, seed: int = 1,
+        executor: Optional[Executor] = None) -> TopologyScaleResult:
+    """Run the topology × scale × routing grid as one executor batch."""
+    result = TopologyScaleResult(workload=workload)
+    points = [(kind, nodes, routing)
+              for kind in topologies for nodes in scales for routing in routings]
+    sweep = SweepSpec.of("topology-scale-grid", [
+        RunSpec(config=_point_config(workload, kind, nodes, routing,
+                                     references=references, seed=seed),
+                label=f"{kind}@{nodes}/{routing.value}",
+                max_cycles=MAX_CYCLES)
+        for kind, nodes, routing in points])
+    results = run_specs(sweep, executor=executor)
+    for (kind, nodes, routing), point in zip(points, results):
+        sim_seconds = point.runtime_cycles / BENCH_CYCLES_PER_SECOND
+        result.rows[f"{kind}@{nodes}/{routing.value}"] = {
+            "topology": kind,
+            "nodes": nodes,
+            "routing": routing.value,
+            "finished": point.finished,
+            "runtime_cycles": point.runtime_cycles,
+            "mean_message_latency": point.mean_message_latency,
+            "reorder_rate": point.reorder_rate_overall,
+            "deadlock_recoveries": point.recoveries_of(
+                SpeculationKind.INTERCONNECT_DEADLOCK),
+            "recoveries": point.recoveries,
+            "events_per_sim_second": (point.events_executed / sim_seconds
+                                      if sim_seconds > 0 else 0.0),
+        }
+    return result
+
+
+@register_experiment("topology_scale",
+                     title="Topology x scale sweep (torus/mesh/ring, 4-64 nodes)",
+                     order=85)
+def campaign_run(ctx: CampaignContext) -> TopologyScaleResult:
+    """Quick mode drops the 64-node scale; the grid is otherwise identical."""
+    return run(scales=QUICK_SCALES if ctx.quick else SCALES,
+               references=ctx.references, executor=ctx.executor)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run().format())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

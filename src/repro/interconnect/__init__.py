@@ -1,6 +1,7 @@
 """Interconnection-network substrate.
 
-A 2D bidirectional torus of switches with finite input buffering,
+A network of switches with finite input buffering over a pluggable topology
+(2D bidirectional torus — the paper's machine — plus mesh and ring),
 dimension-order or minimal adaptive routing, optional virtual
 networks/channels, and the two deadlock-related facilities the paper relies
 on: a wait-for-graph detector (ground truth, used by tests and the
@@ -13,7 +14,16 @@ from repro.interconnect.message import (
     NetworkMessage,
     VirtualNetwork,
 )
-from repro.interconnect.topology import TorusTopology, Direction
+from repro.interconnect.topology import (
+    Direction,
+    MeshTopology,
+    RingTopology,
+    Topology,
+    TorusTopology,
+    make_topology,
+    register_topology,
+    topology_kinds,
+)
 from repro.interconnect.routing import (
     AdaptiveMinimalRouting,
     DimensionOrderRouting,
@@ -22,7 +32,11 @@ from repro.interconnect.routing import (
 from repro.interconnect.buffers import FiniteBuffer
 from repro.interconnect.link import Link
 from repro.interconnect.switch import Switch
-from repro.interconnect.network import TorusNetwork, OrderingTracker
+from repro.interconnect.network import (
+    InterconnectNetwork,
+    OrderingTracker,
+    TorusNetwork,
+)
 from repro.interconnect.deadlock import (
     DeadlockReport,
     WaitForGraph,
@@ -35,7 +49,13 @@ __all__ = [
     "MessageClass",
     "NetworkMessage",
     "VirtualNetwork",
+    "Topology",
     "TorusTopology",
+    "MeshTopology",
+    "RingTopology",
+    "make_topology",
+    "register_topology",
+    "topology_kinds",
     "Direction",
     "RoutingAlgorithm",
     "DimensionOrderRouting",
@@ -43,6 +63,7 @@ __all__ = [
     "FiniteBuffer",
     "Link",
     "Switch",
+    "InterconnectNetwork",
     "TorusNetwork",
     "OrderingTracker",
     "WaitForGraph",

@@ -15,6 +15,11 @@ protocol (:mod:`repro.core.detection`).  This module provides the
 experiments: an explicit wait-for graph over buffers, where an edge points
 from a buffer whose head message is blocked to the buffer it is waiting on;
 a cycle in that graph is a deadlock.
+
+Both detectors are port-indexed and topology-agnostic: a resource is a
+``(switch_id, port_name)`` pair, where the port name comes from whatever
+:class:`~repro.interconnect.topology.Direction` ports the switch's topology
+wired up — the same scan works for the torus, the mesh and the ring.
 """
 
 from __future__ import annotations
@@ -24,6 +29,11 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tupl
 
 from repro.interconnect.switch import Switch
 from repro.interconnect.topology import Direction
+
+
+def _port_key(port) -> Hashable:
+    """Canonical hashable name of a switch port (Direction or raw value)."""
+    return port.value if isinstance(port, Direction) else port
 
 
 @dataclass
@@ -116,13 +126,11 @@ def detect_switch_deadlock(switches: Sequence[Switch]) -> DeadlockReport:
     for switch in switches:
         for head in switch.blocked_heads():
             blocked += 1
-            waiter = (switch.switch_id, head.input_port.value)
+            waiter = (switch.switch_id, _port_key(head.input_port))
             if head.waiting_on is None:
                 continue
             downstream_id, downstream_port = head.waiting_on
-            holder = (downstream_id, downstream_port.value
-                      if isinstance(downstream_port, Direction) else downstream_port)
-            graph.add_edge(waiter, holder)
+            graph.add_edge(waiter, (downstream_id, _port_key(downstream_port)))
     cycle = graph.find_cycle()
     return DeadlockReport(deadlocked=cycle is not None,
                           cycle=cycle or [],
@@ -143,12 +151,11 @@ def detect_network_deadlock(network) -> DeadlockReport:
     for switch in network.switches:
         for head in switch.blocked_heads():
             blocked += 1
-            waiter = (switch.switch_id, head.input_port.value)
+            waiter = (switch.switch_id, _port_key(head.input_port))
             if head.waiting_on is None:
                 continue
             downstream_id, downstream_port = head.waiting_on
-            port_value = (downstream_port.value
-                          if isinstance(downstream_port, Direction) else downstream_port)
+            port_value = _port_key(downstream_port)
             if port_value == Direction.LOCAL.value and downstream_id == switch.switch_id:
                 # Waiting on the local endpoint to start ingesting again.
                 graph.add_edge(waiter, ("endpoint", switch.switch_id))

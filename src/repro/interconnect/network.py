@@ -1,10 +1,13 @@
-"""The torus network front-end used by coherence controllers.
+"""The network front-end used by coherence controllers.
 
-:class:`TorusNetwork` builds the switches and links, owns the routing
-algorithm, provides the endpoint API (``attach`` / ``send``), tracks
-point-to-point ordering violations per virtual network, and supports the
-system-wide flush that a SafetyNet recovery performs (all in-flight messages
-are squashed together with the memory-system state they belong to).
+:class:`InterconnectNetwork` builds the switches and links for whatever
+geometry the configuration selects (torus, mesh, ring — anything in the
+topology registry), owns the routing algorithm, provides the endpoint API
+(``attach`` / ``send``), tracks point-to-point ordering violations per
+virtual network, and supports the system-wide flush that a SafetyNet
+recovery performs (all in-flight messages are squashed together with the
+memory-system state they belong to).  ``TorusNetwork`` remains as an alias
+for existing callers.
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ from repro.interconnect.routing import (
     RoutingAlgorithm,
 )
 from repro.interconnect.switch import Switch
-from repro.interconnect.topology import Direction, TorusTopology
+from repro.interconnect.topology import Direction, Topology, make_topology
 from repro.sim.config import InterconnectConfig, RoutingPolicy
 from repro.sim.engine import Simulator
 from repro.sim.rng import DeterministicRng
@@ -104,16 +107,17 @@ class _Endpoint:
         self.delivered = 0
 
 
-class TorusNetwork:
-    """A complete 2D-torus interconnection network.
+class InterconnectNetwork:
+    """A complete interconnection network over a pluggable topology.
 
     Parameters
     ----------
     sim:
         The simulation kernel.
     config:
-        Interconnect parameters (topology size, bandwidth, buffering, routing
-        policy, virtual-channel organisation, speculative no-VC switch).
+        Interconnect parameters (topology kind and dimensions, bandwidth,
+        buffering, routing policy, virtual-channel organisation, speculative
+        no-VC switch).
     frequency_hz:
         Clock frequency used to convert link bandwidth into cycles/byte.
     rng:
@@ -130,7 +134,8 @@ class TorusNetwork:
         self.config = config
         self.stats = stats if stats is not None else StatsRegistry()
         self.rng = rng if rng is not None else DeterministicRng(0)
-        self.topology = TorusTopology(config.mesh_width, config.mesh_height)
+        topo_cfg = config.resolved_topology()
+        self.topology: Topology = make_topology(topo_cfg.kind, topo_cfg.dims)
         self.ordering = OrderingTracker()
         self.routing = self._make_routing(config.routing)
         self.frequency_hz = frequency_hz
@@ -220,7 +225,8 @@ class TorusNetwork:
     def attach(self, node_id: int, receive: Callable[[NetworkMessage], None]) -> None:
         """Attach a node's receive callback to its switch."""
         if not 0 <= node_id < self.topology.num_switches:
-            raise ValueError(f"node {node_id} has no switch on this torus")
+            raise ValueError(
+                f"node {node_id} has no switch on this {self.topology.describe()}")
         endpoint = self._endpoints.setdefault(node_id, _Endpoint(node_id))
         endpoint.receive = receive
 
@@ -358,3 +364,7 @@ def make_message(src: int, dst: int, msg_class: MessageClass, *,
     size = cfg.data_message_bytes if msg_class.carries_data else cfg.control_message_bytes
     return NetworkMessage(src=src, dst=dst, msg_class=msg_class,
                           size_bytes=size, payload=payload, address=address)
+
+
+#: Back-compat alias from when the only supported geometry was the torus.
+TorusNetwork = InterconnectNetwork

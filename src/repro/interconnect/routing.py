@@ -1,6 +1,8 @@
-"""Routing algorithms for the 2D torus.
+"""Routing algorithms over any registered topology.
 
-Two algorithms, matching Section 3.1 of the paper:
+Two algorithms, matching Section 3.1 of the paper (stated there for the 2D
+torus; both work unchanged on any :class:`~repro.interconnect.topology.Topology`
+because every decision is a lookup in the topology's precomputed tables):
 
 * :class:`DimensionOrderRouting` — static X-then-Y routing.  Every message
   between a given source and destination follows the same path, so the
@@ -24,7 +26,7 @@ from abc import ABC, abstractmethod
 from typing import Callable, Dict, List, Optional
 
 from repro.interconnect.message import NetworkMessage
-from repro.interconnect.topology import Direction, TorusTopology
+from repro.interconnect.topology import Direction, Topology
 from repro.sim.rng import DeterministicRng
 
 
@@ -33,7 +35,7 @@ class RoutingAlgorithm(ABC):
 
     name = "abstract"
 
-    def __init__(self, topology: TorusTopology) -> None:
+    def __init__(self, topology: Topology) -> None:
         self.topology = topology
 
     @abstractmethod
@@ -52,7 +54,7 @@ class RoutingAlgorithm(ABC):
 
 
 class DimensionOrderRouting(RoutingAlgorithm):
-    """Deterministic X-then-Y routing (static).
+    """Deterministic dimension-order routing (static; X-then-Y on grids).
 
     Every decision is a lookup in the topology's precomputed
     ``[src][dst] -> Direction`` table; the geometry maths runs once per
@@ -61,7 +63,7 @@ class DimensionOrderRouting(RoutingAlgorithm):
 
     name = "static"
 
-    def __init__(self, topology: TorusTopology) -> None:
+    def __init__(self, topology: Topology) -> None:
         super().__init__(topology)
         self._table = topology.dimension_order_table()
 
@@ -80,7 +82,7 @@ class AdaptiveMinimalRouting(RoutingAlgorithm):
 
     name = "adaptive"
 
-    def __init__(self, topology: TorusTopology,
+    def __init__(self, topology: Topology,
                  rng: Optional[DeterministicRng] = None,
                  random_tie_break: bool = False) -> None:
         super().__init__(topology)
@@ -142,7 +144,7 @@ class AdaptiveMinimalRouting(RoutingAlgorithm):
         return choice
 
 
-def make_routing(policy: str, topology: TorusTopology,
+def make_routing(policy: str, topology: Topology,
                  rng: Optional[DeterministicRng] = None) -> RoutingAlgorithm:
     """Factory keyed by :class:`repro.sim.config.RoutingPolicy` values."""
     if policy == "static":

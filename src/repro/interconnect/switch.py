@@ -1,9 +1,11 @@
-"""Torus switch with finite input buffering and credit-style backpressure.
+"""Network switch with finite input buffering and credit-style backpressure.
 
 Each switch owns:
 
 * one input :class:`~repro.interconnect.virtual_channel.ChannelSet` per input
-  port (the four neighbour directions plus the local injection port),
+  port (the topology's neighbour directions plus the local injection port —
+  a torus switch has four cardinal ports, a ring switch two, a mesh edge
+  switch only the inward ones),
 * one outgoing :class:`~repro.interconnect.link.Link` per neighbour
   direction,
 * a routing algorithm shared by the whole network.
@@ -24,19 +26,15 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 from repro.interconnect.buffers import FiniteBuffer
 from repro.interconnect.link import Link
 from repro.interconnect.message import NetworkMessage
-from repro.interconnect.topology import Direction, TorusTopology
+from repro.interconnect.topology import Direction, Topology
 from repro.interconnect.virtual_channel import ChannelId, ChannelSet
 from repro.sim.component import Component
 from repro.sim.engine import Simulator
 from repro.sim.stats import StatsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
-    from repro.interconnect.network import TorusNetwork
+    from repro.interconnect.network import InterconnectNetwork
 
-
-#: Input ports of a switch: the four neighbour directions plus local injection.
-INPUT_PORTS: Tuple[Direction, ...] = (
-    Direction.EAST, Direction.WEST, Direction.NORTH, Direction.SOUTH, Direction.LOCAL)
 
 
 @dataclass
@@ -52,12 +50,12 @@ class BlockedHead:
 
 
 class Switch(Component):
-    """One switch of the 2D torus."""
+    """One switch of the interconnection network."""
 
     EJECTION_LATENCY = 1
 
-    def __init__(self, switch_id: int, sim: Simulator, network: "TorusNetwork",
-                 topology: TorusTopology, *, buffer_capacity: int,
+    def __init__(self, switch_id: int, sim: Simulator, network: "InterconnectNetwork",
+                 topology: Topology, *, buffer_capacity: int,
                  virtual_networks: int, virtual_channels: int, shared_buffers: bool,
                  stats: Optional[StatsRegistry] = None) -> None:
         super().__init__(f"switch{switch_id}", sim, stats)
@@ -66,8 +64,10 @@ class Switch(Component):
         self.topology = topology
         self.neighbors = topology.neighbors(switch_id)
         self.input_channels: Dict[Direction, ChannelSet] = {}
-        for port in INPUT_PORTS:
-            if port != Direction.LOCAL and port not in _ports_with_neighbor(self.neighbors):
+        # Port-indexed geometry: only the ports this topology actually
+        # wires at this switch get input buffers (plus LOCAL injection).
+        for port in (*topology.ports(), Direction.LOCAL):
+            if port != Direction.LOCAL and port not in self.neighbors:
                 continue
             self.input_channels[port] = ChannelSet(
                 f"{self.name}.in.{port.value}",
@@ -207,7 +207,7 @@ class Switch(Component):
             return True, None
 
         link = self.output_links.get(direction)
-        if link is None:  # degenerate 1-wide torus: treat as local loopback
+        if link is None:  # degenerate 1-wide geometry: treat as local loopback
             buf.pop()
             self._queued_count -= 1
             self.network.deliver_to_endpoint(self.switch_id, message,
@@ -315,6 +315,3 @@ class Switch(Component):
         self._queued_count = 0
         return dropped
 
-
-def _ports_with_neighbor(neighbors: Dict[Direction, int]) -> Tuple[Direction, ...]:
-    return tuple(neighbors.keys())

@@ -26,9 +26,10 @@ Reproduction-specific knobs (documented in DESIGN.md):
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 
 class RoutingPolicy(str, Enum):
@@ -90,12 +91,72 @@ class ProcessorConfig:
 
 
 @dataclass
-class InterconnectConfig:
-    """2D torus interconnect parameters."""
+class TopologyConfig:
+    """Which interconnect geometry to build: a registry kind plus dimensions.
 
-    #: Torus dimensions; 4x4 gives the 16-node target system.
+    ``kind`` names a class registered in
+    :mod:`repro.interconnect.topology` (``torus``, ``mesh``, ``ring``);
+    ``dims`` is its dimension vector — ``(width, height)`` for the 2D
+    geometries, ``(num_nodes,)`` for the ring.  By registry convention the
+    switch count is always ``product(dims)``, which lets this module
+    validate node counts without importing geometry code.
+    """
+
+    kind: str = "torus"
+    dims: Tuple[int, ...] = (4, 4)
+
+    def __post_init__(self) -> None:
+        if not self.kind or not isinstance(self.kind, str):
+            raise ValueError("topology kind must be a non-empty string")
+        dims = tuple(int(d) for d in self.dims)  # normalise JSON lists
+        if not dims or any(d < 1 for d in dims):
+            raise ValueError(f"topology dims must be positive, got {self.dims!r}")
+        self.dims = dims
+
+    @property
+    def num_switches(self) -> int:
+        return math.prod(self.dims)
+
+    def describe(self) -> str:
+        return f"{'x'.join(str(d) for d in self.dims)} {self.kind}"
+
+    @classmethod
+    def preset(cls, kind: str, num_nodes: int) -> "TopologyConfig":
+        """A ``kind`` geometry of ``num_nodes`` switches.
+
+        2D kinds get the most-square factorisation (4 -> 2x2, 16 -> 4x4,
+        64 -> 8x8, 12 -> 3x4; primes degrade to a 1-wide grid); the ring
+        gets exactly ``num_nodes`` switches.
+        """
+        if num_nodes < 1:
+            raise ValueError(f"topology preset needs num_nodes >= 1, "
+                             f"got {num_nodes}")
+        if kind == "ring":
+            return cls(kind="ring", dims=(num_nodes,))
+        width = math.isqrt(num_nodes)
+        while num_nodes % width:
+            width -= 1
+        return cls(kind=kind, dims=(width, num_nodes // width))
+
+
+@dataclass
+class InterconnectConfig:
+    """Interconnect parameters (geometry, bandwidth, buffering, routing).
+
+    The geometry is chosen by ``topology``; when it is left as ``None`` the
+    legacy ``mesh_width``/``mesh_height`` fields select the paper's 2D torus
+    (the default 4x4 gives the 16-node target system).  Existing
+    configurations therefore keep their meaning *and* their campaign content
+    hashes — ``topology=None`` is omitted from the canonical spec encoding
+    (see :func:`repro.campaign.spec.config_to_dict`).
+    """
+
+    #: Torus dimensions used when ``topology`` is None (back-compat path).
     mesh_width: int = 4
     mesh_height: int = 4
+    #: Explicit geometry selection; None means "torus of mesh_width x
+    #: mesh_height" (the paper's machine).
+    topology: Optional[TopologyConfig] = None
     link_bandwidth_bytes_per_sec: float = 400e6
     link_latency_cycles: int = 8
     #: Per-input-port buffer capacity in messages (the buffer-sweep knob).
@@ -122,6 +183,18 @@ class InterconnectConfig:
     #: insufficient; virtual networks remove it by construction, so the
     #: limit is ignored when virtual channels are enabled.
     nic_injection_limit: int = 8
+
+    def resolved_topology(self) -> TopologyConfig:
+        """The effective geometry: ``topology`` or the legacy torus fields."""
+        if self.topology is not None:
+            return self.topology
+        return TopologyConfig(kind="torus",
+                              dims=(self.mesh_width, self.mesh_height))
+
+    @property
+    def num_switches(self) -> int:
+        """Switch count of the effective geometry (``product(dims)``)."""
+        return self.resolved_topology().num_switches
 
     def link_cycles_per_byte(self, frequency_hz: float) -> float:
         """Cycles needed to serialise one byte on a link."""
@@ -222,11 +295,10 @@ class SystemConfig:
             raise ValueError("num_processors must be positive")
         if self.block_bytes != self.l1.block_bytes or self.block_bytes != self.l2.block_bytes:
             raise ValueError("block size must match across memory and caches")
-        grid = self.interconnect.mesh_width * self.interconnect.mesh_height
-        if grid < self.num_processors:
+        topo = self.interconnect.resolved_topology()
+        if topo.num_switches < self.num_processors:
             raise ValueError(
-                f"torus {self.interconnect.mesh_width}x{self.interconnect.mesh_height} "
-                f"cannot host {self.num_processors} nodes")
+                f"{topo.describe()} cannot host {self.num_processors} nodes")
 
     # ------------------------------------------------------------------ presets
     @classmethod
@@ -237,9 +309,24 @@ class SystemConfig:
     @classmethod
     def small(cls, num_processors: int = 4, references: int = 2_000,
               seed: int = 1) -> "SystemConfig":
-        """A scaled-down system for unit tests and quick examples."""
+        """A scaled-down system for unit tests and quick examples.
+
+        The rule: this preset builds a torus with **exactly** one switch per
+        processor (width 2 up to four processors, width 4 beyond).  A
+        ``num_processors`` that does not tile that grid used to silently
+        produce a torus with idle extra switches — geometry the experiments
+        never asked for; it now raises.  Callers who want a non-square node
+        count should pass an explicit :class:`TopologyConfig` (e.g. a
+        ``ring`` of exactly ``num_processors`` switches) via
+        ``with_updates``.
+        """
         width = 2 if num_processors <= 4 else 4
-        height = max(1, (num_processors + width - 1) // width)
+        if num_processors % width:
+            raise ValueError(
+                f"SystemConfig.small: {num_processors} processors do not tile a "
+                f"{width}-wide torus; pass an explicit TopologyConfig (e.g. "
+                f"ring of {num_processors}) instead of relying on the preset grid")
+        height = num_processors // width
         cfg = cls(
             num_processors=num_processors,
             l1=CacheConfig(8 * 1024, 2),
@@ -276,8 +363,14 @@ class SystemConfig:
             "L2 Cache": f"{self.l2.size_bytes // (1024 * 1024)} MB, "
                         f"{self.l2.associativity}-way set-associative",
             "Memory": f"{self.memory_bytes // 1024 ** 3} GB, {self.block_bytes} byte blocks",
-            "Miss From Memory": f"{self.memory_latency_cycles} cycles (uncontended, 2-hop)",
-            "Interconnection Networks": "link bandwidth = "
+            # The paper's Table 2 states this in nanoseconds (180 ns); render
+            # both the simulator's native cycles and the derived ns at the
+            # configured core frequency.
+            "Miss From Memory": f"{self.memory_latency_cycles} cycles / "
+                                 f"{self.memory_latency_cycles / self.processor.frequency_hz * 1e9:g} ns "
+                                 "(uncontended, 2-hop)",
+            "Interconnection Networks": f"{ic.resolved_topology().describe()}, "
+                                         "link bandwidth = "
                                          f"{ic.link_bandwidth_bytes_per_sec / 1e6:.0f} MB/sec",
             "Checkpoint Log Buffer": f"{cp.log_buffer_bytes // 1024} kbytes total, "
                                       f"{cp.log_entry_bytes} byte entries",

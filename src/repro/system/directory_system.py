@@ -1,7 +1,9 @@
-"""The 16-node directory-protocol multiprocessor.
+"""The directory-protocol multiprocessor (16 nodes in the paper).
 
 This is the target system of Sections 3.1, 4 and 5: a MOSI directory
-protocol over a 2D torus, with SafetyNet recovery and the
+protocol over a configurable interconnect (the paper's 2D torus by default;
+any registered topology and node count via ``TopologyConfig``), with
+SafetyNet recovery and the
 speculation-for-simplicity framework wired in.  Depending on the
 configuration it realises several of the paper's design points:
 
@@ -36,7 +38,7 @@ from repro.core.forward_progress import (
 )
 from repro.core.framework import SpeculationFramework
 from repro.interconnect.message import MessageClass, VirtualNetwork
-from repro.interconnect.network import TorusNetwork, make_message
+from repro.interconnect.network import InterconnectNetwork, make_message
 from repro.processor.core import BlockingProcessor
 from repro.processor.l1 import L1FilterCache
 from repro.safetynet.manager import SafetyNet
@@ -59,7 +61,7 @@ class DirectorySystem:
         self.sim = Simulator()
         self.stats = StatsRegistry()
         self.rng = DeterministicRng(config.workload.seed)
-        self.network = TorusNetwork(
+        self.network = InterconnectNetwork(
             self.sim, config.interconnect,
             frequency_hz=config.processor.frequency_hz,
             rng=self.rng.spawn("network"), stats=self.stats)
@@ -251,6 +253,7 @@ class DirectorySystem:
             l2_hits=l2_hits,
             checkpoints_taken=self.safetynet.checkpoints_taken,
             peak_log_entries=self.safetynet.peak_log_occupancy_entries(),
+            events_executed=self.sim.events_executed,
             counters=self.stats.counters(),
         )
 

@@ -45,6 +45,11 @@ class RunResult:
     #: SafetyNet behaviour.
     checkpoints_taken: int = 0
     peak_log_entries: int = 0
+    #: Simulation-kernel events executed by the run.  Deterministic (unlike
+    #: wall-clock), so it can appear in byte-compared reports; the
+    #: ``topology_scale`` experiment derives its events-per-simulated-second
+    #: throughput metric from it.
+    events_executed: int = 0
     #: Raw counter dump (prefix-filtered views are cheap to build from this).
     counters: Dict[str, int] = field(default_factory=dict)
 

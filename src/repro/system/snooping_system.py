@@ -195,6 +195,7 @@ class SnoopingSystem:
             l2_hits=l2_hits,
             checkpoints_taken=self.safetynet.checkpoints_taken,
             peak_log_entries=self.safetynet.peak_log_occupancy_entries(),
+            events_executed=self.sim.events_executed,
             counters=self.stats.counters(),
         )
 

@@ -92,6 +92,42 @@ def print_delta(reference: Dict[str, Any], measured: Dict[str, Any], *,
         print(f"  {path:<{width}}  {speedup:6.2f}x {marker}")
 
 
+def check_document(path: str) -> List[str]:
+    """Validate a committed BENCH document; returns problems (empty = OK).
+
+    The delta step of the CI perf job is non-gating, but a *malformed*
+    committed baseline would silently break every future comparison, so its
+    structure is checked gatingly: valid JSON, the expected schema tag,
+    dict-shaped ``baseline``/``current`` sections, and at least one numeric
+    rate or cost metric in ``current``.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    except ValueError as exc:
+        return [f"{path} is not valid JSON: {exc}"]
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return [f"{path}: top level must be an object, got {type(document).__name__}"]
+    if document.get("schema") != SCHEMA:
+        problems.append(f"{path}: schema is {document.get('schema')!r}, "
+                        f"expected {SCHEMA!r}")
+    for section in ("baseline", "current"):
+        if not isinstance(document.get(section), dict):
+            problems.append(f"{path}: missing or non-object {section!r} section")
+    current = document.get("current")
+    if isinstance(current, dict):
+        metrics = _walk_metrics(current)
+        if not metrics:
+            problems.append(f"{path}: 'current' contains no rate/cost metrics")
+        bad = [k for k, v in metrics.items()
+               if not isinstance(v, (int, float)) or v != v or v < 0]
+        problems.extend(f"{path}: metric {k} has invalid value" for k in bad)
+    return problems
+
+
 def machine_info() -> Dict[str, str]:
     return {
         "python": platform.python_version(),
@@ -115,7 +151,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--compare", metavar="FILE",
                         help="print speedup of this run vs FILE's 'current' "
                              "(or 'baseline') section; never gates")
+    parser.add_argument("--check", metavar="FILE",
+                        help="validate FILE's structure and exit (no "
+                             "benchmarks run); non-zero on a malformed file")
     args = parser.parse_args(argv)
+
+    if args.check:
+        problems = check_document(args.check)
+        if problems:
+            for problem in problems:
+                print(f"MALFORMED: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.check} is well-formed ({SCHEMA})")
+        return 0
 
     results = run_all(quick=args.quick, only=args.only)
     print(json.dumps(results, indent=2, sort_keys=True))
