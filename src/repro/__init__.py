@@ -38,7 +38,19 @@ from repro.core import (
     SpeculationKind,
     TABLE1_MECHANISMS,
 )
-from repro.system import DirectorySystem, RunResult, SnoopingSystem, build_system
+from repro.speculation import (
+    Speculation,
+    SpeculationManager,
+    register_speculation,
+    speculation_names,
+)
+from repro.system import (
+    DirectorySystem,
+    RunResult,
+    SnoopingSystem,
+    System,
+    build_system,
+)
 from repro.workloads import make_workload, workload_names
 
 __version__ = "1.0.0"
@@ -59,6 +71,11 @@ __all__ = [
     "SpeculationFramework",
     "SpeculationKind",
     "TABLE1_MECHANISMS",
+    "Speculation",
+    "SpeculationManager",
+    "register_speculation",
+    "speculation_names",
+    "System",
     "DirectorySystem",
     "SnoopingSystem",
     "RunResult",

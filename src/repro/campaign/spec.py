@@ -45,16 +45,34 @@ def _jsonable(value: Any) -> Any:
 def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
     """Canonical JSON-safe dictionary form of a :class:`SystemConfig`.
 
-    A ``topology`` of ``None`` (the legacy "torus of mesh_width x
-    mesh_height" selection) is omitted from the encoding entirely: design
-    points that predate the pluggable topology layer keep byte-identical
-    canonical forms — and therefore stable content hashes / cache keys —
-    while any explicitly chosen geometry hashes in as new data.
+    Fields whose ``None`` default predates a pluggable layer are omitted
+    from the encoding entirely, so design points from before that layer
+    keep byte-identical canonical forms — and therefore stable content
+    hashes / cache keys — while any explicit selection hashes in as new
+    data:
+
+    * ``interconnect.topology`` of ``None`` (the legacy "torus of
+      mesh_width x mesh_height" selection, pre-topology-layer);
+    * ``speculation.detectors`` of ``None`` (the "derive the speculation
+      set from the design flags" selection, pre-speculation-layer).
     """
     payload = _jsonable(asdict(config))
     interconnect = payload.get("interconnect")
     if isinstance(interconnect, dict) and interconnect.get("topology") is None:
         del interconnect["topology"]
+    speculation = payload.get("speculation")
+    if isinstance(speculation, dict):
+        if speculation.get("detectors") is None:
+            del speculation["detectors"]
+        # ``interconnect_no_vc_speculation`` used to be inert; it now forces
+        # the Section 4 no-VC network at build time.  A marker key makes the
+        # canonical form of exactly the affected configurations (flag True)
+        # diverge from their pre-layer encoding, so any stale cache entry
+        # simulated under the old no-op semantics can never be served for
+        # the new machine.  Flag-False configurations — every design point
+        # the repository ever produced — keep byte-identical encodings.
+        if speculation.get("interconnect_no_vc_speculation"):
+            speculation["interconnect_no_vc_speculation"] = "forces-no-vc-network/v2"
     return payload
 
 

@@ -63,6 +63,16 @@ class DirectoryCacheController(Component):
         self.node_id = node_id
         self.config = config
         self.variant = config.variant
+        #: Whether the S1 detection path is live: the speculative variant
+        #: with the ``directory-p2p-order`` design enabled.  Derived from
+        #: the configuration so directly constructed controllers (unit
+        #: tests) behave like system-built ones; the speculation layer
+        #: (:mod:`repro.speculation.detectors`) arms the matching
+        #: forward-progress policy.
+        self.p2p_detection_enabled = (
+            config.variant == ProtocolVariant.SPECULATIVE
+            and config.speculation.speculates(
+                SpeculationKind.DIRECTORY_P2P_ORDER.value))
         self.cache = cache
         self.send = send
         self.home = home
@@ -265,7 +275,7 @@ class DirectoryCacheController(Component):
         the forwarded request on the same virtual network.  Observing it
         therefore proves the network reordered the two messages.
         """
-        if self.variant == ProtocolVariant.SPECULATIVE:
+        if self.p2p_detection_enabled:
             self.detected_misspeculations += 1
             self.count("p2p_order_detections")
             self._report(MisspeculationEvent(
@@ -277,9 +287,9 @@ class DirectoryCacheController(Component):
                              "(WritebackAck overtook a ForwardedRequest)"),
                 details={"requestor": payload.requestor}))
         else:
-            # Full protocol: the directory already supplied data to the
-            # requestor when it observed the racing writeback, so the stale
-            # forward can be ignored.
+            # Full protocol (or S1 disabled): the directory already supplied
+            # data to the requestor when it observed the racing writeback,
+            # so the stale forward can be ignored.
             self.count("race_forward_ignored")
 
     # ------------------------------------------------------------ invalidations

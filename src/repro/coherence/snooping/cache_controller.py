@@ -63,6 +63,15 @@ class SnoopingCacheController(Component):
         self.node_id = node_id
         self.config = config
         self.variant = config.variant
+        #: Whether the S2 detection path is live: the speculative variant
+        #: with the ``snooping-corner-case`` design enabled.  Derived from
+        #: the configuration so directly constructed controllers (unit
+        #: tests) behave like system-built ones; the speculation layer
+        #: arms the matching slow-start policy.
+        self.corner_case_detection_enabled = (
+            config.variant == ProtocolVariant.SPECULATIVE
+            and config.speculation.speculates(
+                SpeculationKind.SNOOPING_CORNER_CASE.value))
         self.cache = cache
         self.bus = bus
         self.deliver_data = deliver_data
@@ -296,7 +305,7 @@ class SnoopingCacheController(Component):
         return supplied
 
     def _corner_case(self, request: BusRequest) -> None:
-        if self.variant == ProtocolVariant.SPECULATIVE:
+        if self.corner_case_detection_enabled:
             self.detected_misspeculations += 1
             self.count("corner_case_detections")
             self._report(MisspeculationEvent(

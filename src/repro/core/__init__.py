@@ -3,20 +3,25 @@
 The framework of Section 2 specifies four features a speculative design must
 provide; this package implements them as composable pieces:
 
-1. **Infrequency** — not a mechanism but a property; the framework accounts
+1. **Infrequency** — not a mechanism but a property; the manager accounts
    for mis-speculation rates so experiments can verify it
-   (:class:`repro.core.framework.SpeculationFramework` statistics).
+   (:class:`repro.speculation.manager.SpeculationManager` statistics;
+   ``SpeculationFramework`` is its historical name).
 2. **Detection** — detection logic lives where the paper puts it (inside the
    cache controllers as "one specific invalid transition", and as a
-   transaction timeout); :mod:`repro.core.detection` additionally provides
-   the periodic recovery injector used by the Figure 4 stress test.
+   transaction timeout armed by the ``interconnect-deadlock`` speculation);
+   the periodic recovery injector used by the Figure 4 stress test is the
+   ``injected`` speculation.
 3. **Recovery** — delegated to :class:`repro.safetynet.SafetyNet`.
 4. **Forward progress** — :mod:`repro.core.forward_progress` implements the
    two policies the paper uses: selectively disabling adaptive routing, and
    "slow-start" restriction of outstanding coherence transactions.
 
-:mod:`repro.core.catalog` carries the Table 1 characterisation of the three
-speculative designs.
+The pattern itself — one reusable arm/detect/recover/account lifecycle,
+applied three times — is rendered by the pluggable
+:mod:`repro.speculation` package; this package keeps the event vocabulary
+(:mod:`repro.core.events`), the policies, the Table 1 catalog
+(:mod:`repro.core.catalog`) and back-compat shims for the moved pieces.
 """
 
 from repro.core.events import MisspeculationEvent, RecoveryRecord, SpeculationKind

@@ -1,4 +1,4 @@
-"""Detection support.
+"""Detection support (back-compat shim).
 
 The paper's detection mechanisms are deliberately minimal and live with the
 hardware being speculated on:
@@ -8,86 +8,20 @@ hardware being speculated on:
   :class:`repro.coherence.directory.cache_controller.DirectoryCacheController`
   and :class:`repro.coherence.snooping.cache_controller.SnoopingCacheController`;
 * the interconnect design detects deadlock with a timeout on coherence
-  transactions — implemented in the cache controllers' transaction timeout.
+  transactions — armed by
+  :class:`repro.speculation.detectors.InterconnectDeadlockSpeculation`.
 
-This module provides the remaining pieces: the timeout calculation shared by
-the systems, and the :class:`RecoveryRateInjector` used by the Figure 4
-stress test, which triggers recoveries at a fixed rate on a system that is
-otherwise not mis-speculating at all (the paper: "we implement a system
-without speculation and inject periodic recoveries").
+The shared timeout calculation and the Figure 4 injector now live in
+:mod:`repro.speculation.detectors` (the injector as
+:class:`~repro.speculation.detectors.PeriodicInjectionSpeculation`); this
+module re-exports them under their historical names.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from repro.speculation.detectors import (
+    RecoveryRateInjector,
+    transaction_timeout_cycles,
+)
 
-from repro.core.events import MisspeculationEvent, SpeculationKind
-from repro.sim.config import CheckpointConfig, SpeculationConfig
-from repro.sim.engine import Simulator
-
-
-def transaction_timeout_cycles(checkpoint: CheckpointConfig,
-                               speculation: SpeculationConfig, *,
-                               checkpoint_interval_cycles: Optional[int] = None) -> int:
-    """Timeout used by the deadlock detector.
-
-    The paper chooses a timeout of three checkpoint intervals: long enough to
-    avoid false positives, short enough not to delay SafetyNet commitment
-    (which must wait out the detection latency before declaring an interval
-    mis-speculation-free).
-    """
-    interval = (checkpoint_interval_cycles if checkpoint_interval_cycles is not None
-                else checkpoint.directory_interval_cycles)
-    return max(1, speculation.timeout_checkpoint_intervals) * interval
-
-
-class RecoveryRateInjector:
-    """Triggers recoveries at a fixed rate (recoveries per "second").
-
-    Used for the Figure 4 stress test.  The injector converts the requested
-    rate into a period in cycles using the system's ``cycles_per_second``
-    scale and reports an ``INJECTED`` mis-speculation every period.
-    """
-
-    def __init__(self, sim: Simulator, report: Callable[[MisspeculationEvent], None], *,
-                 rate_per_second: float, cycles_per_second: float) -> None:
-        if rate_per_second < 0:
-            raise ValueError("rate must be non-negative")
-        if cycles_per_second <= 0:
-            raise ValueError("cycles_per_second must be positive")
-        self.sim = sim
-        self.report = report
-        self.rate_per_second = rate_per_second
-        self.cycles_per_second = cycles_per_second
-        self.injections = 0
-        self._active = False
-
-    @property
-    def period_cycles(self) -> Optional[int]:
-        if self.rate_per_second == 0:
-            return None
-        return max(1, int(round(self.cycles_per_second / self.rate_per_second)))
-
-    def start(self) -> None:
-        """Begin injecting (no-op for a zero rate)."""
-        period = self.period_cycles
-        if period is None or self._active:
-            return
-        self._active = True
-        self.sim.schedule(period, self._fire, label="recovery-injector")
-
-    def stop(self) -> None:
-        self._active = False
-
-    def _fire(self) -> None:
-        if not self._active:
-            return
-        self.injections += 1
-        self.report(MisspeculationEvent(
-            kind=SpeculationKind.INJECTED,
-            detected_at=self.sim.now,
-            description=(f"injected recovery #{self.injections} "
-                         f"({self.rate_per_second}/s stress test)")))
-        period = self.period_cycles
-        assert period is not None
-        self.sim.schedule(period, self._fire, label="recovery-injector")
+__all__ = ["RecoveryRateInjector", "transaction_timeout_cycles"]

@@ -36,6 +36,12 @@ class SpeculationKind(str, Enum):
     INTERCONNECT_DEADLOCK = "interconnect-deadlock"
     INJECTED = "injected"
 
+    @property
+    def registry_name(self) -> str:
+        """Name under which :mod:`repro.speculation` registers this kind's
+        implementation (the two vocabularies coincide by convention)."""
+        return self.value
+
 
 @dataclass
 class MisspeculationEvent:
@@ -98,6 +104,11 @@ class RecoveryRecord:
     work_lost_cycles: int
     messages_squashed: int
     log_entries_undone: int
+
+    @property
+    def kind(self) -> SpeculationKind:
+        """The speculation kind this recovery is attributed to."""
+        return self.event.kind
 
     @property
     def total_cost_cycles(self) -> int:

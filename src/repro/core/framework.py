@@ -1,122 +1,17 @@
-"""The speculation-for-simplicity framework coordinator.
+"""Back-compat shim: the coordinator moved to :mod:`repro.speculation`.
 
-:class:`SpeculationFramework` is the object the rest of the system reports
-mis-speculations to.  For every report it:
-
-1. checks the event is actionable (recoveries already in progress absorb
-   concurrent detections of the same broken state — e.g. several processors
-   timing out on the same deadlock),
-2. asks SafetyNet to perform the system-wide recovery,
-3. applies the forward-progress policy registered for the event's
-   speculation kind, and
-4. accounts for everything (counts, rates per scaled second, cost in cycles)
-   so the evaluation section's questions — how often do we mis-speculate,
-   and what does each recovery cost — can be answered directly.
+``SpeculationFramework`` grew into the
+:class:`repro.speculation.manager.SpeculationManager` when speculation
+became a pluggable layer (registry-driven detectors, uniform attach point,
+per-design accounting).  The old name and import path keep working; new
+code should import from :mod:`repro.speculation`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from repro.speculation.manager import FrameworkStats, SpeculationManager
 
-from repro.core.events import MisspeculationEvent, RecoveryRecord, SpeculationKind
-from repro.core.forward_progress import ForwardProgressPolicy, NoOpPolicy
-from repro.safetynet.manager import SafetyNet
-from repro.sim.engine import Simulator
-from repro.sim.stats import StatsRegistry
+#: Historical name of the per-system coordinator.
+SpeculationFramework = SpeculationManager
 
-
-@dataclass
-class FrameworkStats:
-    """Aggregate accounting of detections and recoveries."""
-
-    detections: int = 0
-    coalesced: int = 0
-    recoveries: int = 0
-    detections_by_kind: Dict[SpeculationKind, int] = field(default_factory=dict)
-    recoveries_by_kind: Dict[SpeculationKind, int] = field(default_factory=dict)
-    total_recovery_cost_cycles: int = 0
-
-
-class SpeculationFramework:
-    """Binds detection, recovery and forward progress together."""
-
-    def __init__(self, sim: Simulator, safetynet: SafetyNet, *,
-                 stats: Optional[StatsRegistry] = None) -> None:
-        self.sim = sim
-        self.safetynet = safetynet
-        self.stats = stats if stats is not None else StatsRegistry()
-        self._policies: Dict[SpeculationKind, ForwardProgressPolicy] = {}
-        self._default_policy: ForwardProgressPolicy = NoOpPolicy()
-        self.events: List[MisspeculationEvent] = []
-        self.records: List[RecoveryRecord] = []
-        self.framework_stats = FrameworkStats()
-
-    # ------------------------------------------------------------------ wiring
-    def set_policy(self, kind: SpeculationKind, policy: ForwardProgressPolicy) -> None:
-        """Register the forward-progress policy for one speculation kind."""
-        self._policies[kind] = policy
-
-    def policy_for(self, kind: SpeculationKind) -> ForwardProgressPolicy:
-        return self._policies.get(kind, self._default_policy)
-
-    # ---------------------------------------------------------------- reporting
-    def report(self, event: MisspeculationEvent) -> Optional[RecoveryRecord]:
-        """Handle a detected mis-speculation; returns the recovery performed.
-
-        Returns ``None`` when the event was coalesced into a recovery that is
-        already in progress (the rolled-back state it observed no longer
-        exists).
-        """
-        fs = self.framework_stats
-        fs.detections += 1
-        fs.detections_by_kind[event.kind] = fs.detections_by_kind.get(event.kind, 0) + 1
-        self.stats.counter(f"speculation.detected.{event.kind.value}").add()
-        self.events.append(event)
-
-        if self.sim.now < self.safetynet.stalled_until:
-            # A recovery is in flight; this detection observed state that has
-            # already been (or is being) rolled back.
-            fs.coalesced += 1
-            self.stats.counter("speculation.coalesced").add()
-            return None
-
-        record = self.safetynet.recover(event)
-        self.policy_for(event.kind).apply(event)
-        fs.recoveries += 1
-        fs.recoveries_by_kind[event.kind] = fs.recoveries_by_kind.get(event.kind, 0) + 1
-        fs.total_recovery_cost_cycles += record.total_cost_cycles
-        self.records.append(record)
-        return record
-
-    # ------------------------------------------------------------------- stats
-    def recovery_count(self, kind: Optional[SpeculationKind] = None) -> int:
-        if kind is None:
-            return self.framework_stats.recoveries
-        return self.framework_stats.recoveries_by_kind.get(kind, 0)
-
-    def detection_count(self, kind: Optional[SpeculationKind] = None) -> int:
-        if kind is None:
-            return self.framework_stats.detections
-        return self.framework_stats.detections_by_kind.get(kind, 0)
-
-    def recoveries_per_second(self, elapsed_cycles: int,
-                              cycles_per_second: float) -> float:
-        """Observed recovery rate in recoveries per (scaled) second."""
-        if elapsed_cycles <= 0:
-            return 0.0
-        seconds = elapsed_cycles / cycles_per_second
-        return self.framework_stats.recoveries / seconds if seconds > 0 else 0.0
-
-    def total_recovery_cost_cycles(self) -> int:
-        return self.framework_stats.total_recovery_cost_cycles
-
-    def summary(self) -> Dict[str, object]:
-        fs = self.framework_stats
-        return {
-            "detections": fs.detections,
-            "coalesced": fs.coalesced,
-            "recoveries": fs.recoveries,
-            "recoveries_by_kind": {k.value: v for k, v in fs.recoveries_by_kind.items()},
-            "total_recovery_cost_cycles": fs.total_recovery_cost_cycles,
-        }
+__all__ = ["FrameworkStats", "SpeculationFramework", "SpeculationManager"]

@@ -57,14 +57,18 @@ def benchmark_config(workload: str = "jbb", *, seed: int = 1,
                      speculative_no_vc: bool = False,
                      switch_buffer_capacity: int = 16,
                      num_processors: int = 16,
-                     topology: Optional[str] = None) -> SystemConfig:
+                     topology: Optional[str] = None,
+                     speculation: Optional[SpeculationConfig] = None) -> SystemConfig:
     """A proportionally scaled system for benchmark runs (16 nodes default).
 
     ``num_processors`` scales the machine (one switch per processor; 2D
     geometries use the most-square grid, e.g. 64 -> 8x8).  ``topology``
     selects a registered geometry kind; ``None`` keeps the paper's torus via
     the legacy width/height fields, which also keeps pre-topology-layer
-    design points hashing identically (see DESIGN.md §6).
+    design points hashing identically (see DESIGN.md §6).  ``speculation``
+    overrides the speculative-design selection; ``None`` keeps the preset's
+    scaled-down forward-progress windows with the default design flags (the
+    pre-speculation-layer encoding, so existing hashes are stable).
     """
     width, height = TopologyConfig.preset("torus", num_processors).dims
     return SystemConfig(
@@ -92,10 +96,11 @@ def benchmark_config(workload: str = "jbb", *, seed: int = 1,
             recovery_latency_cycles=2_000,
             register_checkpoint_latency_cycles=100,
         ),
-        speculation=SpeculationConfig(
-            adaptive_routing_disable_cycles=50_000,
-            slow_start_cycles=40_000,
-        ),
+        speculation=(speculation if speculation is not None
+                     else SpeculationConfig(
+                         adaptive_routing_disable_cycles=50_000,
+                         slow_start_cycles=40_000,
+                     )),
         workload=WorkloadConfig(name=workload, references_per_processor=references,
                                 seed=seed),
         cycles_per_second=BENCH_CYCLES_PER_SECOND,

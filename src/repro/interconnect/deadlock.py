@@ -49,6 +49,15 @@ class DeadlockReport:
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.deadlocked
 
+    def to_json(self) -> Dict[str, object]:
+        """JSON-safe payload (the speculation layer surfaces ground-truth
+        scans through it; resource tuples become lists)."""
+        return {
+            "deadlocked": self.deadlocked,
+            "cycle": [list(r) if isinstance(r, tuple) else r for r in self.cycle],
+            "blocked_resources": self.blocked_resources,
+        }
+
 
 class WaitForGraph:
     """A generic wait-for graph with cycle detection.

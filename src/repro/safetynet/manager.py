@@ -58,6 +58,7 @@ class SafetyNet:
         self._restore_fns: Dict[str, RestoreFn] = {}
         self._participants: List[CheckpointParticipant] = []
         self._squash_hooks: List[Callable[[], None]] = []
+        self._recovery_listeners: List[Callable[[RecoveryRecord], None]] = []
         self._checkpoints: List[Checkpoint] = []
         self._next_seq = 0
         self._requests_seen = 0
@@ -113,6 +114,15 @@ class SafetyNet:
 
     def add_squash_hook(self, hook: Callable[[], None]) -> None:
         self._squash_hooks.append(hook)
+
+    def add_recovery_listener(self, listener: Callable[[RecoveryRecord], None]) -> None:
+        """Register a callback invoked after every completed recovery.
+
+        The speculation layer subscribes here so per-design accounting sees
+        every rollback regardless of which path triggered it.  Listeners run
+        after all state has been restored and must not schedule events.
+        """
+        self._recovery_listeners.append(listener)
 
     # -------------------------------------------------------------- checkpoints
     @property
@@ -224,6 +234,8 @@ class SafetyNet:
         self.stats.counter("safetynet.recoveries").add()
         self.stats.counter(f"safetynet.recoveries.{event.kind.value}").add()
         self.stats.counter("safetynet.work_lost_cycles").add(work_lost)
+        for listener in self._recovery_listeners:
+            listener(record)
         return record
 
     # ------------------------------------------------------------------- stats

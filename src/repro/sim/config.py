@@ -234,14 +234,31 @@ class CheckpointConfig:
 
 @dataclass
 class SpeculationConfig:
-    """Knobs of the speculation-for-simplicity framework."""
+    """Knobs of the speculation-for-simplicity framework.
+
+    The three ``*_speculation`` flags name the paper's Table 1 designs and
+    select which registered :class:`repro.speculation.base.Speculation`
+    implementations a built system arms (the registry names are the
+    :class:`repro.core.events.SpeculationKind` values — see
+    :meth:`enabled_speculations`).  ``detectors`` overrides the derived set
+    with an explicit list of registry names; it defaults to ``None`` and is
+    omitted from the canonical campaign encoding in that case, so design
+    points that predate the speculation layer keep byte-identical canonical
+    forms — and therefore stable content hashes / cache keys.
+    """
 
     #: Speculate on point-to-point ordering in the directory protocol (S1).
     directory_p2p_speculation: bool = True
     #: Leave the snooping corner case unhandled and detect it instead (S2).
     snooping_corner_case_speculation: bool = True
-    #: Remove virtual channels and recover from deadlock (S3).
+    #: Remove virtual channels and recover from deadlock (S3).  Building a
+    #: system with this flag set forces the Section 4 no-VC network design
+    #: even when ``InterconnectConfig.speculative_no_vc`` is left False
+    #: (the two knobs are OR-ed; the interconnect flag predates this one).
     interconnect_no_vc_speculation: bool = False
+    #: Explicit speculation selection: a tuple of registry names from
+    #: :mod:`repro.speculation`.  ``None`` derives the set from the flags.
+    detectors: Optional[Tuple[str, ...]] = None
     #: Transaction timeout for deadlock detection, in checkpoint intervals.
     timeout_checkpoint_intervals: int = 3
     #: Forward progress: cycles for which adaptive routing stays disabled
@@ -253,6 +270,64 @@ class SpeculationConfig:
     #: Cycles spent in slow-start after a recovery before returning to full
     #: concurrency.
     slow_start_cycles: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.detectors is not None:
+            self.detectors = tuple(str(name) for name in self.detectors)
+
+    def enabled_speculations(self) -> Tuple[str, ...]:
+        """Registry names of the speculations a built system should arm.
+
+        With ``detectors=None`` the set derives from the design flags; the
+        deadlock watchdog (``interconnect-deadlock``) is always included —
+        the transaction timeout doubles as the safety net that keeps even a
+        conventionally designed network from wedging a run silently, which
+        matches the repository's historical wiring.  Each name is further
+        filtered by the registered class's ``applies_to`` (protocol and
+        variant), so one configuration can describe the complete design
+        space and each built system arms only what exists in it.
+        """
+        if self.detectors is not None:
+            return self.detectors
+        names = []
+        if self.directory_p2p_speculation:
+            names.append(SpeculationName.DIRECTORY_P2P_ORDER)
+        if self.snooping_corner_case_speculation:
+            names.append(SpeculationName.SNOOPING_CORNER_CASE)
+        names.append(SpeculationName.INTERCONNECT_DEADLOCK)
+        return tuple(names)
+
+    def speculates(self, name: str) -> bool:
+        """Whether the named speculative design is enabled."""
+        return name in self.enabled_speculations()
+
+    def with_designs(self, *, s1: Optional[bool] = None,
+                     s2: Optional[bool] = None,
+                     s3: Optional[bool] = None) -> "SpeculationConfig":
+        """Copy with the Table 1 design flags replaced (None = keep)."""
+        return replace(
+            self,
+            directory_p2p_speculation=(
+                self.directory_p2p_speculation if s1 is None else s1),
+            snooping_corner_case_speculation=(
+                self.snooping_corner_case_speculation if s2 is None else s2),
+            interconnect_no_vc_speculation=(
+                self.interconnect_no_vc_speculation if s3 is None else s3),
+        )
+
+
+class SpeculationName:
+    """The registry names of :mod:`repro.speculation` (one per design).
+
+    These equal the :class:`repro.core.events.SpeculationKind` values;
+    duplicated here as plain strings so this bottom-layer module does not
+    import the framework package.
+    """
+
+    DIRECTORY_P2P_ORDER = "directory-p2p-order"
+    SNOOPING_CORNER_CASE = "snooping-corner-case"
+    INTERCONNECT_DEADLOCK = "interconnect-deadlock"
+    INJECTED = "injected"
 
 
 @dataclass

@@ -1,0 +1,267 @@
+"""The paper's three speculative designs plus the Figure 4 injector.
+
+Each class implements the :class:`repro.speculation.base.Speculation`
+lifecycle for one row of Table 1.  The *detection sites* stay where the
+paper puts them — inside the protocol controllers ("one specific invalid
+transition") and the per-transaction timeout — but everything around a
+site that the two system classes used to duplicate now lives here: which
+configurations arm the design, the timeout calculation, the
+forward-progress policy construction, and the per-design accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.events import MisspeculationEvent, SpeculationKind
+from repro.core.forward_progress import (
+    CombinedPolicy,
+    DisableAdaptiveRoutingPolicy,
+    SlowStartPolicy,
+)
+from repro.sim.config import (
+    CheckpointConfig,
+    ProtocolKind,
+    ProtocolVariant,
+    SpeculationConfig,
+    SystemConfig,
+)
+from repro.sim.engine import Simulator
+from repro.speculation.base import Speculation
+from repro.speculation.registry import register_speculation
+
+
+def transaction_timeout_cycles(checkpoint: CheckpointConfig,
+                               speculation: SpeculationConfig, *,
+                               checkpoint_interval_cycles: Optional[int] = None) -> int:
+    """Timeout used by the deadlock detector.
+
+    The paper chooses a timeout of three checkpoint intervals: long enough to
+    avoid false positives, short enough not to delay SafetyNet commitment
+    (which must wait out the detection latency before declaring an interval
+    mis-speculation-free).
+    """
+    interval = (checkpoint_interval_cycles if checkpoint_interval_cycles is not None
+                else checkpoint.directory_interval_cycles)
+    return max(1, speculation.timeout_checkpoint_intervals) * interval
+
+
+@register_speculation(SpeculationKind.DIRECTORY_P2P_ORDER.value)
+class DirectoryP2POrderSpeculation(Speculation):
+    """S1 — the directory protocol speculates on point-to-point ordering.
+
+    Detection lives in
+    :class:`repro.coherence.directory.cache_controller.DirectoryCacheController`
+    (a ForwardedRequest arriving for a block the controller cannot supply);
+    forward progress selectively disables adaptive routing so the
+    re-execution window is order-preserving.
+    """
+
+    kind = SpeculationKind.DIRECTORY_P2P_ORDER
+    paper_section = "3.1"
+
+    @classmethod
+    def applies_to(cls, config: SystemConfig) -> bool:
+        return (config.protocol == ProtocolKind.DIRECTORY
+                and config.variant == ProtocolVariant.SPECULATIVE)
+
+    def arm(self, system) -> None:
+        spec = system.config.speculation
+        self.network = system.network
+        self.policy = DisableAdaptiveRoutingPolicy(
+            system.network.disable_adaptive_routing,
+            spec.adaptive_routing_disable_cycles)
+        self.manager.set_policy(self.kind, self.policy)
+
+    def stats(self):
+        payload = super().stats()
+        if self.armed_on is not None:
+            payload["routing_windows_applied"] = self.policy.applications
+            payload["adaptive_routing_disabled"] = (
+                self.network.adaptive_routing_disabled)
+        return payload
+
+
+@register_speculation(SpeculationKind.SNOOPING_CORNER_CASE.value)
+class SnoopingCornerCaseSpeculation(Speculation):
+    """S2 — the snooping protocol leaves a writeback corner case unhandled.
+
+    Detection lives in
+    :class:`repro.coherence.snooping.cache_controller.SnoopingCacheController`
+    (a second foreign RequestReadWrite observed in the LOST_OWNERSHIP
+    transient); forward progress is slow-start, which with one outstanding
+    transaction makes the two-transaction race impossible.
+    """
+
+    kind = SpeculationKind.SNOOPING_CORNER_CASE
+    paper_section = "3.2"
+
+    @classmethod
+    def applies_to(cls, config: SystemConfig) -> bool:
+        return (config.protocol == ProtocolKind.SNOOPING
+                and config.variant == ProtocolVariant.SPECULATIVE)
+
+    def arm(self, system) -> None:
+        spec = system.config.speculation
+        self.policy = SlowStartPolicy(
+            system.slow_start_gate,
+            max_outstanding=spec.slow_start_max_outstanding,
+            duration_cycles=spec.slow_start_cycles)
+        self.manager.set_policy(self.kind, self.policy)
+
+
+@register_speculation(SpeculationKind.INTERCONNECT_DEADLOCK.value)
+class InterconnectDeadlockSpeculation(Speculation):
+    """S3 — deadlock detection by coherence-transaction timeout (Section 4).
+
+    The *design* being speculated on is the no-virtual-channel interconnect
+    (selected by ``InterconnectConfig.speculative_no_vc`` or the
+    ``interconnect_no_vc_speculation`` flag); the timeout watchdog itself is
+    armed on every system that enables this speculation — it is also the
+    safety net that keeps a conventionally designed network from wedging a
+    run silently, exactly as in the repository's pre-refactor wiring.
+    """
+
+    kind = SpeculationKind.INTERCONNECT_DEADLOCK
+    paper_section = "4"
+
+    @classmethod
+    def applies_to(cls, config: SystemConfig) -> bool:
+        return True
+
+    def arm(self, system) -> None:
+        config = system.config
+        spec = config.speculation
+        self.timeout_cycles = transaction_timeout_cycles(
+            config.checkpoint, spec,
+            checkpoint_interval_cycles=system.checkpoint_interval_cycles())
+        for controller in system.cache_controllers():
+            controller.timeout_cycles = self.timeout_cycles
+        slow_start = SlowStartPolicy(
+            system.slow_start_gate,
+            max_outstanding=spec.slow_start_max_outstanding,
+            duration_cycles=spec.slow_start_cycles)
+        if system.kind == ProtocolKind.DIRECTORY:
+            # The directory system escalates: the first recovery just
+            # perturbs timing, repeats within the window enter slow-start.
+            self.policy = CombinedPolicy(
+                system.sim, slow_start, free_retries=1,
+                window_cycles=max(spec.slow_start_cycles,
+                                  4 * config.checkpoint.directory_interval_cycles))
+        else:
+            self.policy = slow_start
+        self.manager.set_policy(self.kind, self.policy)
+
+    def ground_truth_report(self, system):
+        """Wait-for-graph scan of the system's network (tests/diagnostics).
+
+        The production detector is the timeout; this exposes the explicit
+        :func:`repro.interconnect.deadlock.detect_network_deadlock` scan for
+        systems that have a packet-switched network (None otherwise).
+        """
+        network = getattr(system, "network", None)
+        if network is None:
+            return None
+        from repro.interconnect.deadlock import detect_network_deadlock
+
+        return detect_network_deadlock(network)
+
+    def stats(self):
+        payload = super().stats()
+        if self.armed_on is not None:
+            payload["timeout_cycles"] = self.timeout_cycles
+        return payload
+
+
+@register_speculation(SpeculationKind.INJECTED.value)
+class PeriodicInjectionSpeculation(Speculation):
+    """The Figure 4 stress test: recoveries at a fixed rate per "second".
+
+    Not armed from configuration (``applies_to`` is always False); it is
+    attached explicitly through
+    :meth:`repro.speculation.manager.SpeculationManager.attach_injector`
+    with the requested rate.  The injector converts the rate into a period
+    in cycles using the system's ``cycles_per_second`` scale and reports an
+    ``INJECTED`` mis-speculation every period.
+    """
+
+    kind = SpeculationKind.INJECTED
+    paper_section = "5.3"
+
+    def __init__(self, manager, *, rate_per_second: float,
+                 cycles_per_second: float) -> None:
+        if rate_per_second < 0:
+            raise ValueError("rate must be non-negative")
+        if cycles_per_second <= 0:
+            raise ValueError("cycles_per_second must be positive")
+        super().__init__(manager)
+        self.rate_per_second = rate_per_second
+        self.cycles_per_second = cycles_per_second
+        self.injections = 0
+        self._active = False
+
+    @classmethod
+    def applies_to(cls, config: SystemConfig) -> bool:
+        return False  # attached explicitly with a rate, never from config
+
+    def arm(self, system) -> None:
+        """Nothing to wire: injection is driven by :meth:`start`."""
+
+    @property
+    def period_cycles(self) -> Optional[int]:
+        if self.rate_per_second == 0:
+            return None
+        return max(1, int(round(self.cycles_per_second / self.rate_per_second)))
+
+    def start(self) -> None:
+        """Begin injecting (no-op for a zero rate)."""
+        period = self.period_cycles
+        if period is None or self._active:
+            return
+        self._active = True
+        self.sim.schedule(period, self._fire, label="recovery-injector")
+
+    def stop(self) -> None:
+        self._active = False
+
+    def _fire(self) -> None:
+        if not self._active:
+            return
+        self.injections += 1
+        self.manager.report(MisspeculationEvent(
+            kind=SpeculationKind.INJECTED,
+            detected_at=self.sim.now,
+            description=(f"injected recovery #{self.injections} "
+                         f"({self.rate_per_second}/s stress test)")))
+        period = self.period_cycles
+        assert period is not None
+        self.sim.schedule(period, self._fire, label="recovery-injector")
+
+    def stats(self):
+        payload = super().stats()
+        payload["injections"] = self.injections
+        payload["rate_per_second"] = self.rate_per_second
+        return payload
+
+
+class _CallbackHost:
+    """Minimal manager stand-in: a simulator plus a report callback."""
+
+    def __init__(self, sim: Simulator, report) -> None:
+        self.sim = sim
+        self.report = report
+
+
+class RecoveryRateInjector(PeriodicInjectionSpeculation):
+    """Legacy standalone injector (simulator + callback, no manager).
+
+    Kept for callers that drive injection outside a built system; new code
+    should go through ``System.attach_recovery_injector`` /
+    :meth:`SpeculationManager.attach_injector`.
+    """
+
+    def __init__(self, sim: Simulator, report, *, rate_per_second: float,
+                 cycles_per_second: float) -> None:
+        super().__init__(_CallbackHost(sim, report),
+                         rate_per_second=rate_per_second,
+                         cycles_per_second=cycles_per_second)

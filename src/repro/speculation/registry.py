@@ -1,0 +1,65 @@
+"""The speculation registry.
+
+Mirrors the experiment registry (:mod:`repro.campaign.registry`) and the
+topology registry (:mod:`repro.interconnect.topology`): a speculative
+design is registered under a stable string name and looked up by the
+:class:`repro.speculation.manager.SpeculationManager` when it arms a
+system.  By convention the registry name of each of the paper's designs is
+the ``value`` of its :class:`repro.core.events.SpeculationKind` member, so
+configuration (:class:`repro.sim.config.SpeculationConfig`), accounting
+(``recoveries_by_kind``) and the registry all speak the same vocabulary:
+
+==========================  ============================  =============
+registry name               paper design                  section
+==========================  ============================  =============
+``directory-p2p-order``     S1 point-to-point ordering    3.1
+``snooping-corner-case``    S2 snooping corner case       3.2
+``interconnect-deadlock``   S3 no-VC interconnect         4
+``injected``                Figure 4 stress injector      5.3
+==========================  ============================  =============
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.speculation.base import Speculation
+
+_REGISTRY: Dict[str, Type["Speculation"]] = {}
+
+
+def register_speculation(name: str):
+    """Class decorator registering a :class:`Speculation` implementation.
+
+    ``name`` is the stable handle used by
+    :meth:`repro.sim.config.SpeculationConfig.enabled_speculations` and the
+    per-kind accounting; registering the same name twice is an error.
+    """
+    def decorate(cls: Type["Speculation"]) -> Type["Speculation"]:
+        if name in _REGISTRY:
+            raise ValueError(f"speculation {name!r} registered twice")
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+    return decorate
+
+
+def get_speculation(name: str) -> Type["Speculation"]:
+    """Look up a registered speculation class by name."""
+    # Import for the side effect of running the @register_speculation
+    # decorators on first use (same lazy pattern as topology discovery).
+    import repro.speculation.detectors  # noqa: F401
+
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none registered>"
+        raise KeyError(f"unknown speculation {name!r}; known: {known}") from None
+
+
+def speculation_names() -> List[str]:
+    """Every registered speculation name, sorted for stable output."""
+    import repro.speculation.detectors  # noqa: F401
+
+    return sorted(_REGISTRY)

@@ -1,0 +1,196 @@
+"""The shared multiprocessor base class.
+
+:class:`System` captures the surface the directory and snooping systems
+always duck-typed — build, ``load_workload``, ``run``, result collection,
+and the speculation attach points — so :func:`repro.system.builder
+.build_system` returns one concrete type hierarchy instead of a ``Union``.
+
+Construction order is part of the determinism contract (RNG spawns and any
+event scheduled during build must happen in a fixed order), so the base
+``__init__`` fixes the sequence and subclasses fill in the hooks:
+
+1. simulator, stats, RNG;
+2. ``_build_fabric()`` — the message substrate (torus/mesh/ring network or
+   the snooping address bus + memory);
+3. ``_build_safetynet()`` — SafetyNet on the protocol's logical time base;
+4. the :class:`~repro.speculation.manager.SpeculationManager` and the
+   slow-start gate;
+5. ``_build_nodes()`` — processors, caches, controllers, SafetyNet wiring;
+6. ``speculation.arm(self)`` — every speculation the configuration enables
+   wires itself in (detection flags, transaction timeouts, forward-progress
+   policies).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import replace
+from typing import ClassVar, Dict, List, Optional
+
+from repro.safetynet.manager import SafetyNet
+from repro.sim.config import InterconnectConfig, ProtocolKind, SystemConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import DeterministicRng
+from repro.sim.stats import StatsRegistry
+from repro.speculation.detectors import PeriodicInjectionSpeculation
+from repro.speculation.manager import SpeculationManager
+from repro.core.forward_progress import SlowStartGate
+from repro.system.results import RunResult
+from repro.workloads import make_workload
+from repro.workloads.base import SyntheticWorkload
+
+
+class System(ABC):
+    """A runnable multiprocessor (directory or snooping)."""
+
+    #: The coherence protocol the concrete system implements.
+    kind: ClassVar[ProtocolKind]
+
+    def __init__(self, config: SystemConfig, *, label: Optional[str] = None) -> None:
+        self.config = config
+        self.label = label if label is not None else self._default_label(config)
+        self.sim = Simulator()
+        self.stats = StatsRegistry()
+        self.rng = DeterministicRng(config.workload.seed)
+        self._build_fabric()
+        self.safetynet: SafetyNet = self._build_safetynet()
+        self.speculation = SpeculationManager(self.sim, self.safetynet,
+                                              stats=self.stats)
+        #: Historical name for the coordinator; same object.
+        self.framework = self.speculation
+        self.slow_start_gate = SlowStartGate(self.sim)
+        self.nodes: List = []
+        self.injector: Optional[PeriodicInjectionSpeculation] = None
+        self._finished_processors = 0
+        self._build_nodes()
+        self.speculation.arm(self)
+
+    # ------------------------------------------------------------------- hooks
+    @staticmethod
+    @abstractmethod
+    def _default_label(config: SystemConfig) -> str:
+        """Label used when the caller does not supply one."""
+
+    @abstractmethod
+    def _build_fabric(self) -> None:
+        """Construct the message substrate (network, or bus + memory)."""
+
+    @abstractmethod
+    def _build_safetynet(self) -> SafetyNet:
+        """Construct SafetyNet on this protocol's logical time base."""
+
+    @abstractmethod
+    def _build_nodes(self) -> None:
+        """Construct and wire the per-node components."""
+
+    @abstractmethod
+    def _default_max_cycles(self) -> int:
+        """Run horizon used when the caller does not bound the run."""
+
+    @abstractmethod
+    def _network_metrics(self, runtime: int) -> Dict[str, object]:
+        """Substrate-specific :class:`RunResult` fields."""
+
+    @abstractmethod
+    def invariant_errors(self) -> List[str]:
+        """Coherence invariant violations across the whole system."""
+
+    # ------------------------------------------------------- speculation layer
+    def checkpoint_interval_cycles(self) -> int:
+        """Checkpoint interval in cycles (or a cycle-equivalent estimate for
+        request-based logical time); the deadlock timeout derives from it."""
+        raise NotImplementedError
+
+    def cache_controllers(self) -> List:
+        """The per-node L2 cache controllers (timeout/detection sites)."""
+        return [node.cache_controller for node in self.nodes]
+
+    def effective_interconnect(self) -> InterconnectConfig:
+        """The interconnect to build: the configured one, with the no-VC
+        design forced when ``interconnect_no_vc_speculation`` asks for it."""
+        interconnect = self.config.interconnect
+        if (self.config.speculation.interconnect_no_vc_speculation
+                and not interconnect.speculative_no_vc):
+            interconnect = replace(interconnect, speculative_no_vc=True)
+        return interconnect
+
+    def attach_recovery_injector(self, rate_per_second: float
+                                 ) -> PeriodicInjectionSpeculation:
+        """Attach the Figure 4 stress-test injector (call before :meth:`run`)."""
+        self.injector = self.speculation.attach_injector(
+            rate_per_second=rate_per_second,
+            cycles_per_second=self.config.cycles_per_second)
+        return self.injector
+
+    # --------------------------------------------------------------------- run
+    def load_workload(self, workload: Optional[SyntheticWorkload] = None) -> None:
+        """Generate and install per-processor reference streams."""
+        cfg = self.config
+        if workload is None:
+            workload = make_workload(cfg.workload.name,
+                                     num_processors=cfg.num_processors,
+                                     block_bytes=cfg.block_bytes,
+                                     seed=cfg.workload.seed)
+        streams = workload.generate_all(cfg.workload.references_per_processor)
+        for node in self.nodes:
+            node.processor.references = list(streams[node.node_id])
+
+    def _start_clocks(self) -> None:
+        """Begin periodic activity before the processors start.
+
+        The base starts SafetyNet (a no-op scheduler-wise on request-based
+        logical time); subclasses may extend.
+        """
+        self.safetynet.start()
+
+    def run(self, *, workload: Optional[SyntheticWorkload] = None,
+            max_cycles: Optional[int] = None) -> RunResult:
+        """Run the workload to completion and collect results."""
+        self.load_workload(workload)
+        self._start_clocks()
+        if self.injector is not None:
+            self.injector.start()
+        self._finished_processors = 0
+
+        def on_finished(_node: int) -> None:
+            self._finished_processors += 1
+            if all(n.processor.finished_at is not None for n in self.nodes):
+                self.sim.stop()
+
+        for node in self.nodes:
+            node.processor.start(on_finished)
+
+        limit = max_cycles if max_cycles is not None else self._default_max_cycles()
+        self.sim.run(until=limit)
+        finished = all(n.processor.finished_at is not None for n in self.nodes)
+        return self._collect_results(finished)
+
+    # ----------------------------------------------------------------- results
+    def _collect_results(self, finished: bool) -> RunResult:
+        runtime = max((n.processor.finished_at or self.sim.now) for n in self.nodes)
+        refs = sum(n.processor.references_completed for n in self.nodes)
+        instructions = sum(n.processor.retired_instructions for n in self.nodes)
+        l2_hits = sum(n.l2_array.hits for n in self.nodes)
+        l2_misses = sum(n.l2_array.misses for n in self.nodes)
+        fs = self.speculation.framework_stats
+        return RunResult(
+            workload=self.config.workload.name,
+            config_label=self.label,
+            runtime_cycles=runtime,
+            references_completed=refs,
+            instructions_retired=instructions,
+            finished=finished,
+            detections=fs.detections,
+            detections_by_kind={k.value: v
+                                for k, v in fs.detections_by_kind.items()},
+            recoveries=fs.recoveries,
+            recoveries_by_kind={k.value: v for k, v in fs.recoveries_by_kind.items()},
+            recovery_records=list(self.speculation.records),
+            l2_misses=l2_misses,
+            l2_hits=l2_hits,
+            checkpoints_taken=self.safetynet.checkpoints_taken,
+            peak_log_entries=self.safetynet.peak_log_occupancy_entries(),
+            events_executed=self.sim.events_executed,
+            counters=self.stats.counters(),
+            **self._network_metrics(runtime),
+        )

@@ -3,87 +3,76 @@
 This is the target system of Sections 3.1, 4 and 5: a MOSI directory
 protocol over a configurable interconnect (the paper's 2D torus by default;
 any registered topology and node count via ``TopologyConfig``), with
-SafetyNet recovery and the
-speculation-for-simplicity framework wired in.  Depending on the
+SafetyNet recovery and the speculation layer wired in.  Depending on the
 configuration it realises several of the paper's design points:
 
 * ``variant=FULL`` + virtual channels + static routing — the conventional,
   fully designed baseline;
 * ``variant=SPECULATIVE`` + adaptive routing — the Section 3.1 design that
-  speculates on point-to-point ordering;
-* ``interconnect.speculative_no_vc=True`` — the Section 4 design that
+  speculates on point-to-point ordering (the ``directory-p2p-order``
+  speculation);
+* ``interconnect.speculative_no_vc=True`` (or the
+  ``interconnect_no_vc_speculation`` flag) — the Section 4 design that
   removes virtual-channel deadlock avoidance and recovers from deadlocks
-  detected by transaction timeouts;
-* with a :class:`repro.core.detection.RecoveryRateInjector` attached — the
+  detected by transaction timeouts (the ``interconnect-deadlock``
+  speculation);
+* with the ``injected`` speculation attached via
+  :meth:`~repro.system.base.System.attach_recovery_injector` — the
   Figure 4 stress test.
+
+Which speculations arm is decided by the registry-backed
+:class:`repro.sim.config.SpeculationConfig` (see
+:meth:`repro.speculation.manager.SpeculationManager.arm`).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.coherence.cache import CacheArray
 from repro.coherence.common import home_node
 from repro.coherence.directory.cache_controller import DirectoryCacheController
 from repro.coherence.directory.directory_controller import DirectoryController
 from repro.coherence.directory.states import CacheState, DirectoryState
-from repro.core.detection import RecoveryRateInjector, transaction_timeout_cycles
-from repro.core.events import SpeculationKind
-from repro.core.forward_progress import (
-    CombinedPolicy,
-    DisableAdaptiveRoutingPolicy,
-    NoOpPolicy,
-    SlowStartGate,
-    SlowStartPolicy,
-)
-from repro.core.framework import SpeculationFramework
 from repro.interconnect.message import MessageClass, VirtualNetwork
 from repro.interconnect.network import InterconnectNetwork, make_message
 from repro.processor.core import BlockingProcessor
 from repro.processor.l1 import L1FilterCache
 from repro.safetynet.manager import SafetyNet
-from repro.sim.config import SystemConfig
-from repro.sim.engine import Simulator
-from repro.sim.rng import DeterministicRng
-from repro.sim.stats import StatsRegistry
+from repro.sim.config import ProtocolKind, SystemConfig
+from repro.system.base import System
 from repro.system.node import DirectoryNode
-from repro.system.results import RunResult
-from repro.workloads import make_workload
-from repro.workloads.base import SyntheticWorkload
 
 
-class DirectorySystem:
+class DirectorySystem(System):
     """A runnable directory-protocol multiprocessor."""
 
-    def __init__(self, config: SystemConfig, *, label: Optional[str] = None) -> None:
-        self.config = config
-        self.label = label if label is not None else self._default_label(config)
-        self.sim = Simulator()
-        self.stats = StatsRegistry()
-        self.rng = DeterministicRng(config.workload.seed)
-        self.network = InterconnectNetwork(
-            self.sim, config.interconnect,
-            frequency_hz=config.processor.frequency_hz,
-            rng=self.rng.spawn("network"), stats=self.stats)
-        self.safetynet = SafetyNet(
-            self.sim, config.checkpoint, num_nodes=config.num_processors,
-            interval_cycles=config.checkpoint.directory_interval_cycles,
-            stats=self.stats)
-        self.framework = SpeculationFramework(self.sim, self.safetynet, stats=self.stats)
-        self.slow_start_gate = SlowStartGate(self.sim)
-        self.nodes: List[DirectoryNode] = []
-        self.injector: Optional[RecoveryRateInjector] = None
-        self._finished_processors = 0
-        self._build_nodes()
-        self._configure_policies()
+    kind = ProtocolKind.DIRECTORY
 
     # ------------------------------------------------------------------- build
     @staticmethod
     def _default_label(config: SystemConfig) -> str:
         parts = [config.variant.value, config.interconnect.routing.value]
-        if config.interconnect.speculative_no_vc:
+        if (config.interconnect.speculative_no_vc
+                or config.speculation.interconnect_no_vc_speculation):
             parts.append("no-vc")
         return "-".join(parts)
+
+    def _build_fabric(self) -> None:
+        self.network = InterconnectNetwork(
+            self.sim, self.effective_interconnect(),
+            frequency_hz=self.config.processor.frequency_hz,
+            rng=self.rng.spawn("network"), stats=self.stats)
+
+    def _build_safetynet(self) -> SafetyNet:
+        return SafetyNet(
+            self.sim, self.config.checkpoint,
+            num_nodes=self.config.num_processors,
+            interval_cycles=self.config.checkpoint.directory_interval_cycles,
+            stats=self.stats)
+
+    def checkpoint_interval_cycles(self) -> int:
+        return self.config.checkpoint.directory_interval_cycles
 
     def _home(self, address: int) -> int:
         return home_node(address, self.config.num_processors, self.config.block_bytes)
@@ -97,16 +86,14 @@ class DirectorySystem:
 
     def _build_nodes(self) -> None:
         cfg = self.config
-        timeout = transaction_timeout_cycles(cfg.checkpoint, cfg.speculation)
         for node_id in range(cfg.num_processors):
             l2_array: CacheArray = CacheArray(f"l2.{node_id}", cfg.l2, CacheState.INVALID)
             send = self._make_send(node_id)
             cache_ctrl = DirectoryCacheController(
                 node_id, self.sim, cfg, l2_array, send, self._home,
-                misspeculation_reporter=self.framework.report, stats=self.stats)
+                misspeculation_reporter=self.speculation.report, stats=self.stats)
             cache_ctrl.may_issue = self.slow_start_gate.may_issue
             cache_ctrl.on_retire = self.slow_start_gate.retired
-            cache_ctrl.timeout_cycles = timeout
             directory = DirectoryController(node_id, self.sim, cfg, send, stats=self.stats)
             l1 = L1FilterCache(f"l1.{node_id}", cfg.l1)
             processor = BlockingProcessor(
@@ -152,69 +139,7 @@ class DirectorySystem:
                 cache_ctrl.handle_message(message)
         return receive
 
-    def _configure_policies(self) -> None:
-        spec = self.config.speculation
-        self.framework.set_policy(
-            SpeculationKind.DIRECTORY_P2P_ORDER,
-            DisableAdaptiveRoutingPolicy(
-                self.network.disable_adaptive_routing,
-                spec.adaptive_routing_disable_cycles))
-        self.framework.set_policy(
-            SpeculationKind.INTERCONNECT_DEADLOCK,
-            CombinedPolicy(
-                self.sim,
-                SlowStartPolicy(self.slow_start_gate,
-                                max_outstanding=spec.slow_start_max_outstanding,
-                                duration_cycles=spec.slow_start_cycles),
-                free_retries=1,
-                window_cycles=max(spec.slow_start_cycles,
-                                  4 * self.config.checkpoint.directory_interval_cycles)))
-        self.framework.set_policy(SpeculationKind.INJECTED, NoOpPolicy())
-
-    # ----------------------------------------------------------------- injector
-    def attach_recovery_injector(self, rate_per_second: float) -> RecoveryRateInjector:
-        """Attach the Figure 4 stress-test injector (call before :meth:`run`)."""
-        self.injector = RecoveryRateInjector(
-            self.sim, self.framework.report,
-            rate_per_second=rate_per_second,
-            cycles_per_second=self.config.cycles_per_second)
-        return self.injector
-
     # --------------------------------------------------------------------- run
-    def load_workload(self, workload: Optional[SyntheticWorkload] = None) -> None:
-        """Generate and install per-processor reference streams."""
-        cfg = self.config
-        if workload is None:
-            workload = make_workload(cfg.workload.name,
-                                     num_processors=cfg.num_processors,
-                                     block_bytes=cfg.block_bytes,
-                                     seed=cfg.workload.seed)
-        streams = workload.generate_all(cfg.workload.references_per_processor)
-        for node in self.nodes:
-            node.processor.references = list(streams[node.node_id])
-
-    def run(self, *, workload: Optional[SyntheticWorkload] = None,
-            max_cycles: Optional[int] = None) -> RunResult:
-        """Run the workload to completion and collect results."""
-        self.load_workload(workload)
-        self.safetynet.start()
-        if self.injector is not None:
-            self.injector.start()
-        self._finished_processors = 0
-
-        def on_finished(_node: int) -> None:
-            self._finished_processors += 1
-            if all(n.processor.finished_at is not None for n in self.nodes):
-                self.sim.stop()
-
-        for node in self.nodes:
-            node.processor.start(on_finished)
-
-        limit = max_cycles if max_cycles is not None else self._default_max_cycles()
-        self.sim.run(until=limit)
-        finished = all(n.processor.finished_at is not None for n in self.nodes)
-        return self._collect_results(finished)
-
     def _default_max_cycles(self) -> int:
         cfg = self.config
         per_ref_bound = 4 * (cfg.memory_latency_cycles
@@ -223,39 +148,17 @@ class DirectorySystem:
         return max(1_000_000, cfg.workload.references_per_processor * per_ref_bound)
 
     # ----------------------------------------------------------------- results
-    def _collect_results(self, finished: bool) -> RunResult:
-        runtime = max((n.processor.finished_at or self.sim.now) for n in self.nodes)
-        refs = sum(n.processor.references_completed for n in self.nodes)
-        instructions = sum(n.processor.retired_instructions for n in self.nodes)
-        l2_hits = sum(n.l2_array.hits for n in self.nodes)
-        l2_misses = sum(n.l2_array.misses for n in self.nodes)
+    def _network_metrics(self, runtime: int) -> Dict[str, object]:
         ordering = self.network.ordering
-        reorder_by_vnet = {vn.name: ordering.reorder_rate(vn) for vn in VirtualNetwork}
-        fs = self.framework.framework_stats
-        return RunResult(
-            workload=self.config.workload.name,
-            config_label=self.label,
-            runtime_cycles=runtime,
-            references_completed=refs,
-            instructions_retired=instructions,
-            finished=finished,
-            detections=fs.detections,
-            recoveries=fs.recoveries,
-            recoveries_by_kind={k.value: v for k, v in fs.recoveries_by_kind.items()},
-            recovery_records=list(self.framework.records),
-            messages_delivered=self.network.messages_delivered,
-            mean_message_latency=self.network.mean_message_latency(),
-            mean_link_utilization=self.network.mean_link_utilization(runtime),
-            peak_link_utilization=self.network.peak_link_utilization(runtime),
-            reorder_rate_overall=ordering.reorder_rate(),
-            reorder_rate_by_vnet=reorder_by_vnet,
-            l2_misses=l2_misses,
-            l2_hits=l2_hits,
-            checkpoints_taken=self.safetynet.checkpoints_taken,
-            peak_log_entries=self.safetynet.peak_log_occupancy_entries(),
-            events_executed=self.sim.events_executed,
-            counters=self.stats.counters(),
-        )
+        return {
+            "messages_delivered": self.network.messages_delivered,
+            "mean_message_latency": self.network.mean_message_latency(),
+            "mean_link_utilization": self.network.mean_link_utilization(runtime),
+            "peak_link_utilization": self.network.peak_link_utilization(runtime),
+            "reorder_rate_overall": ordering.reorder_rate(),
+            "reorder_rate_by_vnet": {vn.name: ordering.reorder_rate(vn)
+                                     for vn in VirtualNetwork},
+        }
 
     # ---------------------------------------------------------------- recovery
     def _reconcile_after_recovery(self) -> None:

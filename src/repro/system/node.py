@@ -1,10 +1,11 @@
-"""Per-node component bundle for the directory system.
+"""Per-node component bundles.
 
 A node of the target system (Section 5.1) consists of a processor, two
-levels of cache, a slice of the shared memory and its directory, and a
-network interface.  :class:`DirectoryNode` owns those pieces for one node;
-the wiring between them is done by
-:class:`repro.system.directory_system.DirectorySystem`.
+levels of cache, and the protocol-specific machinery — a slice of the
+shared memory and its directory for the directory system, a bus snooper
+for the snooping system.  :class:`DirectoryNode` and :class:`SnoopingNode`
+own those pieces for one node; the wiring between them is done by the
+concrete :class:`repro.system.base.System` subclasses.
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ from dataclasses import dataclass
 from repro.coherence.cache import CacheArray
 from repro.coherence.directory.cache_controller import DirectoryCacheController
 from repro.coherence.directory.directory_controller import DirectoryController
+from repro.coherence.snooping.cache_controller import SnoopingCacheController
 from repro.processor.core import BlockingProcessor
 from repro.processor.l1 import L1FilterCache
 
@@ -35,3 +37,18 @@ class DirectoryNode:
         errors.extend(self.cache_controller.invariant_errors())
         errors.extend(self.directory.invariant_errors())
         return errors
+
+
+@dataclass
+class SnoopingNode:
+    """All components of one node of the snooping system."""
+
+    node_id: int
+    processor: BlockingProcessor
+    l1: L1FilterCache
+    l2_array: CacheArray
+    cache_controller: SnoopingCacheController
+
+    def invariant_errors(self):
+        """Structural invariant violations of the node's cache controller."""
+        return list(self.cache_controller.invariant_errors())

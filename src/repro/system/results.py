@@ -9,7 +9,11 @@ from repro.core.events import RecoveryRecord, SpeculationKind
 
 #: Schema tag embedded in every serialized result; consumers (the result
 #: cache, the runner's ``--json`` report) check it before trusting a payload.
-RESULT_SCHEMA = "repro.system.results/v1"
+#: v2: ``detections_by_kind`` added — v1 cache entries would deserialize
+#: with it silently empty while fresh runs populate it, so they are
+#: rejected (the result cache treats the rejection as a miss and
+#: re-simulates).
+RESULT_SCHEMA = "repro.system.results/v2"
 
 
 @dataclass
@@ -27,9 +31,12 @@ class RunResult:
     references_completed: int
     instructions_retired: int
     finished: bool
-    #: Mis-speculation / recovery accounting.
+    #: Mis-speculation / recovery accounting.  The ``*_by_kind`` maps are
+    #: keyed by :class:`SpeculationKind` values (the speculation-registry
+    #: names) and survive the JSON round-trip unchanged.
     detections: int = 0
     recoveries: int = 0
+    detections_by_kind: Dict[str, int] = field(default_factory=dict)
     recoveries_by_kind: Dict[str, int] = field(default_factory=dict)
     recovery_records: List[RecoveryRecord] = field(default_factory=list)
     #: Interconnect measurements.
@@ -74,6 +81,9 @@ class RunResult:
     def recoveries_of(self, kind: SpeculationKind) -> int:
         return self.recoveries_by_kind.get(kind.value, 0)
 
+    def detections_of(self, kind: SpeculationKind) -> int:
+        return self.detections_by_kind.get(kind.value, 0)
+
     # -------------------------------------------------------------- serialization
     def to_json(self) -> Dict[str, Any]:
         """JSON-safe payload; :meth:`from_json` is the exact inverse.
@@ -88,8 +98,8 @@ class RunResult:
             value = getattr(self, spec.name)
             if spec.name == "recovery_records":
                 value = [record.to_json() for record in value]
-            elif spec.name in ("recoveries_by_kind", "reorder_rate_by_vnet",
-                               "counters"):
+            elif spec.name in ("detections_by_kind", "recoveries_by_kind",
+                               "reorder_rate_by_vnet", "counters"):
                 value = dict(value)
             payload[spec.name] = value
         return payload
@@ -111,10 +121,20 @@ class RunResult:
         return cls(**kwargs)
 
     def summary_line(self) -> str:
-        """One-line human readable summary (used by example scripts)."""
+        """One-line human readable summary (used by example scripts).
+
+        Recoveries are broken down per speculation kind when any happened,
+        e.g. ``recoveries=3 (injected=2, interconnect-deadlock=1)`` — kinds
+        sorted by name for stable output.
+        """
+        recoveries = f"recoveries={self.recoveries}"
+        by_kind = {k: v for k, v in sorted(self.recoveries_by_kind.items()) if v}
+        if by_kind:
+            detail = ", ".join(f"{kind}={count}" for kind, count in by_kind.items())
+            recoveries += f" ({detail})"
         return (f"{self.workload:>10s} [{self.config_label}] "
                 f"runtime={self.runtime_cycles} cycles, "
                 f"refs={self.references_completed}, "
                 f"L2 miss rate={self.l2_miss_rate:.3f}, "
-                f"recoveries={self.recoveries}, "
+                f"{recoveries}, "
                 f"link util={self.mean_link_utilization:.2%}")

@@ -4,93 +4,74 @@ A 16-node system whose coherence requests are broadcast on a totally ordered
 address network and whose data moves point-to-point.  SafetyNet uses the
 request count as its logical time base (Table 2: a checkpoint every 3,000
 requests).  The ``SPECULATIVE`` variant leaves the writeback corner case
-unhandled and recovers when it is detected; forward progress after such a
-recovery is the slow-start mode of Section 3.2.
+unhandled (the ``snooping-corner-case`` speculation) and recovers when it
+is detected; forward progress after such a recovery is the slow-start mode
+of Section 3.2.  Which speculations arm is decided by the registry-backed
+:class:`repro.sim.config.SpeculationConfig`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List
 
 from repro.coherence.cache import CacheArray
 from repro.coherence.snooping.bus import AddressBus
 from repro.coherence.snooping.cache_controller import SnoopingCacheController
 from repro.coherence.snooping.memory_controller import SnoopingMemoryController
 from repro.coherence.snooping.states import SnoopState
-from repro.core.detection import RecoveryRateInjector, transaction_timeout_cycles
-from repro.core.events import SpeculationKind
-from repro.core.forward_progress import NoOpPolicy, SlowStartGate, SlowStartPolicy
-from repro.core.framework import SpeculationFramework
 from repro.processor.core import BlockingProcessor
 from repro.processor.l1 import L1FilterCache
 from repro.safetynet.manager import SafetyNet
-from repro.sim.config import SystemConfig
-from repro.sim.engine import Simulator
-from repro.sim.rng import DeterministicRng
-from repro.sim.stats import StatsRegistry
-from repro.system.results import RunResult
-from repro.workloads import make_workload
-from repro.workloads.base import SyntheticWorkload
+from repro.sim.config import ProtocolKind, SystemConfig
+from repro.system.base import System
+from repro.system.node import SnoopingNode
+
+__all__ = ["SnoopingNode", "SnoopingSystem"]
 
 
-@dataclass
-class SnoopingNode:
-    """All components of one node of the snooping system."""
-
-    node_id: int
-    processor: BlockingProcessor
-    l1: L1FilterCache
-    l2_array: CacheArray
-    cache_controller: SnoopingCacheController
-
-
-class SnoopingSystem:
+class SnoopingSystem(System):
     """A runnable broadcast-snooping multiprocessor."""
 
-    def __init__(self, config: SystemConfig, *, label: Optional[str] = None) -> None:
-        self.config = config
-        self.label = label if label is not None else f"snooping-{config.variant.value}"
-        self.sim = Simulator()
-        self.stats = StatsRegistry()
-        self.rng = DeterministicRng(config.workload.seed)
-        self.bus = AddressBus(self.sim, stats=self.stats)
-        self.safetynet = SafetyNet(
-            self.sim, config.checkpoint, num_nodes=config.num_processors,
-            interval_requests=config.checkpoint.snooping_interval_requests,
-            stats=self.stats)
-        self.framework = SpeculationFramework(self.sim, self.safetynet, stats=self.stats)
-        self.slow_start_gate = SlowStartGate(self.sim)
-        self.memory = SnoopingMemoryController(
-            self.sim, memory_latency_cycles=config.memory_latency_cycles,
-            deliver_data=self._deliver_data, stats=self.stats)
-        self.nodes: List[SnoopingNode] = []
-        self.injector: Optional[RecoveryRateInjector] = None
-        self._build_nodes()
-        self._configure_policies()
+    kind = ProtocolKind.SNOOPING
 
     # ------------------------------------------------------------------- build
+    @staticmethod
+    def _default_label(config: SystemConfig) -> str:
+        return f"snooping-{config.variant.value}"
+
+    def _build_fabric(self) -> None:
+        self.bus = AddressBus(self.sim, stats=self.stats)
+        self.memory = SnoopingMemoryController(
+            self.sim, memory_latency_cycles=self.config.memory_latency_cycles,
+            deliver_data=self._deliver_data, stats=self.stats)
+
+    def _build_safetynet(self) -> SafetyNet:
+        return SafetyNet(
+            self.sim, self.config.checkpoint,
+            num_nodes=self.config.num_processors,
+            interval_requests=self.config.checkpoint.snooping_interval_requests,
+            stats=self.stats)
+
+    def checkpoint_interval_cycles(self) -> int:
+        # The snooping system's checkpoint interval is request-based; convert
+        # an approximate cycle equivalent for the transaction timeout.
+        approx = (self.config.checkpoint.snooping_interval_requests
+                  * self.bus.arbitration_cycles)
+        return max(approx, 10_000)
+
     def _deliver_data(self, dst: int, address: int, value: int) -> None:
         self.nodes[dst].cache_controller.receive_data(address, value)
 
     def _build_nodes(self) -> None:
         cfg = self.config
-        # The snooping system's checkpoint interval is request-based; convert
-        # an approximate cycle equivalent for the transaction timeout.
-        approx_interval_cycles = (cfg.checkpoint.snooping_interval_requests
-                                  * self.bus.arbitration_cycles)
-        timeout = transaction_timeout_cycles(
-            cfg.checkpoint, cfg.speculation,
-            checkpoint_interval_cycles=max(approx_interval_cycles, 10_000))
         for node_id in range(cfg.num_processors):
             l2_array: CacheArray = CacheArray(f"snoop-l2.{node_id}", cfg.l2,
                                               SnoopState.INVALID)
             cache_ctrl = SnoopingCacheController(
                 node_id, self.sim, cfg, l2_array, self.bus, self._deliver_data,
-                misspeculation_reporter=self.framework.report, stats=self.stats)
+                misspeculation_reporter=self.speculation.report, stats=self.stats)
             cache_ctrl.may_issue = self.slow_start_gate.may_issue
             cache_ctrl.on_retire = self.slow_start_gate.retired
-            cache_ctrl.timeout_cycles = timeout
             l1 = L1FilterCache(f"snoop-l1.{node_id}", cfg.l1)
             processor = BlockingProcessor(
                 node_id, self.sim, cfg, [], l1=l1,
@@ -118,86 +99,20 @@ class SnoopingSystem:
         self.safetynet.add_squash_hook(
             lambda: self.slow_start_gate.reset_outstanding())
 
-    def _configure_policies(self) -> None:
-        spec = self.config.speculation
-        slow_start = SlowStartPolicy(self.slow_start_gate,
-                                     max_outstanding=spec.slow_start_max_outstanding,
-                                     duration_cycles=spec.slow_start_cycles)
-        self.framework.set_policy(SpeculationKind.SNOOPING_CORNER_CASE, slow_start)
-        self.framework.set_policy(SpeculationKind.INTERCONNECT_DEADLOCK, slow_start)
-        self.framework.set_policy(SpeculationKind.INJECTED, NoOpPolicy())
-
-    # ----------------------------------------------------------------- injector
-    def attach_recovery_injector(self, rate_per_second: float) -> RecoveryRateInjector:
-        """Attach the Figure 4 stress-test injector (call before :meth:`run`)."""
-        self.injector = RecoveryRateInjector(
-            self.sim, self.framework.report,
-            rate_per_second=rate_per_second,
-            cycles_per_second=self.config.cycles_per_second)
-        return self.injector
-
     # --------------------------------------------------------------------- run
-    def load_workload(self, workload: Optional[SyntheticWorkload] = None) -> None:
-        cfg = self.config
-        if workload is None:
-            workload = make_workload(cfg.workload.name,
-                                     num_processors=cfg.num_processors,
-                                     block_bytes=cfg.block_bytes,
-                                     seed=cfg.workload.seed)
-        streams = workload.generate_all(cfg.workload.references_per_processor)
-        for node in self.nodes:
-            node.processor.references = list(streams[node.node_id])
-
-    def run(self, *, workload: Optional[SyntheticWorkload] = None,
-            max_cycles: Optional[int] = None) -> RunResult:
-        self.load_workload(workload)
-        if self.injector is not None:
-            self.injector.start()
-
-        def on_finished(_node: int) -> None:
-            if all(n.processor.finished_at is not None for n in self.nodes):
-                self.sim.stop()
-
-        for node in self.nodes:
-            node.processor.start(on_finished)
-        limit = (max_cycles if max_cycles is not None
-                 else max(1_000_000,
-                          self.config.workload.references_per_processor * 2_000))
-        self.sim.run(until=limit)
-        finished = all(n.processor.finished_at is not None for n in self.nodes)
-        return self._collect_results(finished)
+    def _default_max_cycles(self) -> int:
+        return max(1_000_000,
+                   self.config.workload.references_per_processor * 2_000)
 
     # ----------------------------------------------------------------- results
-    def _collect_results(self, finished: bool) -> RunResult:
-        runtime = max((n.processor.finished_at or self.sim.now) for n in self.nodes)
-        refs = sum(n.processor.references_completed for n in self.nodes)
-        instructions = sum(n.processor.retired_instructions for n in self.nodes)
-        l2_hits = sum(n.l2_array.hits for n in self.nodes)
-        l2_misses = sum(n.l2_array.misses for n in self.nodes)
-        fs = self.framework.framework_stats
-        return RunResult(
-            workload=self.config.workload.name,
-            config_label=self.label,
-            runtime_cycles=runtime,
-            references_completed=refs,
-            instructions_retired=instructions,
-            finished=finished,
-            detections=fs.detections,
-            recoveries=fs.recoveries,
-            recoveries_by_kind={k.value: v for k, v in fs.recoveries_by_kind.items()},
-            recovery_records=list(self.framework.records),
-            messages_delivered=self.bus.requests_ordered,
-            mean_message_latency=0.0,
-            mean_link_utilization=0.0,
-            peak_link_utilization=0.0,
-            reorder_rate_overall=0.0,
-            l2_misses=l2_misses,
-            l2_hits=l2_hits,
-            checkpoints_taken=self.safetynet.checkpoints_taken,
-            peak_log_entries=self.safetynet.peak_log_occupancy_entries(),
-            events_executed=self.sim.events_executed,
-            counters=self.stats.counters(),
-        )
+    def _network_metrics(self, runtime: int) -> Dict[str, object]:
+        return {
+            "messages_delivered": self.bus.requests_ordered,
+            "mean_message_latency": 0.0,
+            "mean_link_utilization": 0.0,
+            "peak_link_utilization": 0.0,
+            "reorder_rate_overall": 0.0,
+        }
 
     # ------------------------------------------------------------------ checks
     def invariant_errors(self) -> List[str]:
