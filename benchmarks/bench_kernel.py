@@ -100,16 +100,25 @@ def bench_event_churn(num_events: int = 100_000) -> Dict[str, Any]:
     }
 
 
-def bench_workload_gen(num_references: int = 200_000) -> Dict[str, Any]:
-    """Reference-stream generation throughput (the jbb profile)."""
+def bench_workload_gen(num_references: int = 200_000,
+                       family: str = "jbb") -> Dict[str, Any]:
+    """Reference-stream generation throughput of one registered family.
+
+    The default measures the jbb paper profile (the historical
+    ``workload_gen`` series); a second ``BENCHMARKS`` entry covers the
+    ``hotspot`` scenario family so generation-speed regressions in the
+    parameterized families gate the perf job exactly like kernel
+    regressions do.
+    """
     from repro.workloads import make_workload
 
-    workload = make_workload("jbb", num_processors=16, seed=7)
+    workload = make_workload(family, num_processors=16, seed=7)
     start = time.perf_counter()
     refs = workload.generate(0, num_references)
     elapsed = time.perf_counter() - start
     assert len(refs) == num_references
     return {
+        "family": family,
         "references": num_references,
         "seconds": round(elapsed, 6),
         "references_per_sec": round(_rate(num_references, elapsed), 1),
@@ -210,6 +219,9 @@ BENCHMARKS: Dict[str, Any] = {
                     {"num_events": 12_000}),
     "workload_gen": (bench_workload_gen, {"num_references": 200_000},
                      {"num_references": 40_000}),
+    "workload_gen_hotspot": (bench_workload_gen,
+                             {"num_references": 200_000, "family": "hotspot"},
+                             {"num_references": 40_000, "family": "hotspot"}),
     "undo_log": (bench_undo_log, {"num_records": 300_000},
                  {"num_records": 60_000}),
     "routing": (bench_routing, {"num_decisions": 100_000},

@@ -51,7 +51,13 @@ from repro.system import (
     System,
     build_system,
 )
-from repro.workloads import make_workload, workload_names
+from repro.workloads import (
+    WorkloadFamily,
+    make_workload,
+    paper_workload_names,
+    register_workload,
+    workload_names,
+)
 
 __version__ = "1.0.0"
 
@@ -80,7 +86,10 @@ __all__ = [
     "SnoopingSystem",
     "RunResult",
     "build_system",
+    "WorkloadFamily",
     "make_workload",
+    "paper_workload_names",
+    "register_workload",
     "workload_names",
     "__version__",
 ]

@@ -54,12 +54,17 @@ def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
     * ``interconnect.topology`` of ``None`` (the legacy "torus of
       mesh_width x mesh_height" selection, pre-topology-layer);
     * ``speculation.detectors`` of ``None`` (the "derive the speculation
-      set from the design flags" selection, pre-speculation-layer).
+      set from the design flags" selection, pre-speculation-layer);
+    * ``workload.params`` of ``None`` (the "registered family defaults"
+      selection, pre-workload-registry).
     """
     payload = _jsonable(asdict(config))
     interconnect = payload.get("interconnect")
     if isinstance(interconnect, dict) and interconnect.get("topology") is None:
         del interconnect["topology"]
+    workload = payload.get("workload")
+    if isinstance(workload, dict) and workload.get("params") is None:
+        del workload["params"]
     speculation = payload.get("speculation")
     if isinstance(speculation, dict):
         if speculation.get("detectors") is None:

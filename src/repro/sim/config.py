@@ -29,7 +29,19 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+#: Coherence block size in bytes (Table 2).  The single source of truth for
+#: every default that must agree on it: cache geometry, system memory layout
+#: and synthetic workload address generation
+#: (:func:`repro.workloads.registry.make_workload`).
+DEFAULT_BLOCK_BYTES = 64
+
+#: Root seed of the deterministic RNG tree when a caller does not choose one.
+#: Shared by :class:`WorkloadConfig` and
+#: :func:`repro.workloads.registry.make_workload` so the two entry points can
+#: never drift apart.
+DEFAULT_WORKLOAD_SEED = 1
 
 
 class RoutingPolicy(str, Enum):
@@ -59,7 +71,7 @@ class CacheConfig:
 
     size_bytes: int
     associativity: int
-    block_bytes: int = 64
+    block_bytes: int = DEFAULT_BLOCK_BYTES
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0 or self.associativity <= 0 or self.block_bytes <= 0:
@@ -332,17 +344,48 @@ class SpeculationName:
 
 @dataclass
 class WorkloadConfig:
-    """Parameters of a synthetic workload run."""
+    """Parameters of a synthetic workload run.
+
+    ``name`` selects a family registered in :mod:`repro.workloads.registry`
+    (the five paper profiles plus the parameterized scenario families);
+    construction fails fast — listing the registered names — so a typo'd
+    campaign axis dies before any simulation starts rather than mid-run
+    inside ``load_workload``.  ``params`` optionally overrides the family's
+    default parameters; ``None`` (the default) means "family defaults" and
+    is omitted from the canonical campaign encoding
+    (:func:`repro.campaign.spec.config_to_dict`), exactly like
+    ``topology=None`` and ``detectors=None``, so every pre-params design
+    point keeps a byte-identical canonical form and a stable content hash.
+    """
 
     name: str = "jbb"
     #: Memory references issued per processor for one measured run.
     references_per_processor: int = 20_000
     #: Root seed for the deterministic RNG tree.
-    seed: int = 1
+    seed: int = DEFAULT_WORKLOAD_SEED
     #: Number of perturbed runs per design point (paper uses several).
     runs: int = 1
     #: Std-dev (in cycles) of the pseudo-random memory-latency perturbation.
     latency_jitter_cycles: int = 2
+    #: Family-specific parameter overrides; ``None`` means the registered
+    #: family's defaults (and is omitted from the canonical spec encoding).
+    params: Optional[Dict[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.params is not None:
+            if not isinstance(self.params, Mapping):
+                raise ValueError(
+                    f"workload params must be a mapping, got {self.params!r}")
+            # An empty mapping means "family defaults" — the same design
+            # point as None; normalise so the two cannot hash apart.
+            self.params = ({str(k): v for k, v in self.params.items()}
+                           or None)
+        # Imported lazily: this bottom-layer module must stay importable
+        # without the workload package, and the registry imports the
+        # defaults defined above.
+        from repro.workloads.registry import validate_workload
+
+        validate_workload(self.name, self.params)
 
 
 @dataclass
@@ -355,7 +398,7 @@ class SystemConfig:
     l1: CacheConfig = field(default_factory=lambda: CacheConfig(128 * 1024, 4))
     l2: CacheConfig = field(default_factory=lambda: CacheConfig(4 * 1024 * 1024, 4))
     memory_bytes: int = 2 * 1024 ** 3
-    block_bytes: int = 64
+    block_bytes: int = DEFAULT_BLOCK_BYTES
     memory_latency_cycles: int = 180 * 4  # 180 ns at 4 GHz
     processor: ProcessorConfig = field(default_factory=ProcessorConfig)
     interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)

@@ -124,13 +124,21 @@ class System(ABC):
 
     # --------------------------------------------------------------------- run
     def load_workload(self, workload: Optional[SyntheticWorkload] = None) -> None:
-        """Generate and install per-processor reference streams."""
+        """Generate and install per-processor reference streams.
+
+        The default generator is resolved through the workload registry
+        (:mod:`repro.workloads.registry`) from the configured family name
+        and optional ``params``; the configuration was already validated
+        against the registry at construction time, so failures here are
+        generation bugs, not typos.
+        """
         cfg = self.config
         if workload is None:
             workload = make_workload(cfg.workload.name,
                                      num_processors=cfg.num_processors,
                                      block_bytes=cfg.block_bytes,
-                                     seed=cfg.workload.seed)
+                                     seed=cfg.workload.seed,
+                                     params=cfg.workload.params)
         streams = workload.generate_all(cfg.workload.references_per_processor)
         for node in self.nodes:
             node.processor.references = list(streams[node.node_id])

@@ -1,14 +1,18 @@
-"""Synthetic workloads standing in for the paper's Table 3 suite.
+"""Registry-driven synthetic workload layer.
 
-Five workloads: four commercial (``oltp``, ``jbb``, ``apache``,
-``slashcode``) and one scientific (``barnes``), each defined by a
-:class:`repro.workloads.base.WorkloadProfile` in its own module and
-instantiated through :func:`make_workload` / :func:`workload_names`.
+The paper's Table 3 suite (``jbb``, ``apache``, ``slashcode``, ``oltp``,
+``barnes``) plus parameterized scenario families (``hotspot``,
+``producer_consumer``, ``phased``, ``scaled``, ``mixed``), each registered
+under a stable name in :mod:`repro.workloads.registry` and instantiated
+through :func:`make_workload`.  The paper profiles remain importable as
+:data:`PROFILES` / :func:`get_profile` for direct profile access; every
+run-time consumer (``System.load_workload``, the experiment drivers, the
+campaign layer) resolves through the registry.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from repro.workloads import apache, barnes, jbb, oltp, slashcode
 from repro.workloads.base import (
@@ -17,24 +21,27 @@ from repro.workloads.base import (
     WorkloadProfile,
     mix_statistics,
 )
+from repro.workloads.registry import (
+    WorkloadFamily,
+    get_family,
+    make_workload,
+    paper_workload_names,
+    register_workload,
+    table3_rows,
+    validate_workload,
+    workload_names,
+)
+from repro.workloads.families import (  # noqa: F401  (registration side effect)
+    MixedWorkload,
+    PAPER_PROFILES,
+)
 
-#: All workload profiles, in the order the paper's figures plot them.
-PROFILES: Dict[str, WorkloadProfile] = {
-    "jbb": jbb.PROFILE,
-    "apache": apache.PROFILE,
-    "slashcode": slashcode.PROFILE,
-    "oltp": oltp.PROFILE,
-    "barnes": barnes.PROFILE,
-}
-
-
-def workload_names() -> List[str]:
-    """Names of the five workloads, in figure order."""
-    return list(PROFILES)
+#: All paper workload profiles, in the order the figures plot them.
+PROFILES: Dict[str, WorkloadProfile] = dict(PAPER_PROFILES)
 
 
 def get_profile(name: str) -> WorkloadProfile:
-    """Look up a workload profile by name."""
+    """Look up a paper workload profile by name."""
     try:
         return PROFILES[name]
     except KeyError:
@@ -42,26 +49,20 @@ def get_profile(name: str) -> WorkloadProfile:
             f"unknown workload {name!r}; available: {', '.join(PROFILES)}") from None
 
 
-def make_workload(name: str, *, num_processors: int, block_bytes: int = 64,
-                  seed: int = 1) -> SyntheticWorkload:
-    """Instantiate a named workload generator."""
-    return SyntheticWorkload(get_profile(name), num_processors=num_processors,
-                             block_bytes=block_bytes, seed=seed)
-
-
-def table3_rows() -> Dict[str, str]:
-    """Table 3 analogue: one descriptive row per workload."""
-    return {name: profile.description for name, profile in PROFILES.items()}
-
-
 __all__ = [
     "Reference",
     "SyntheticWorkload",
     "WorkloadProfile",
+    "WorkloadFamily",
+    "MixedWorkload",
     "mix_statistics",
     "PROFILES",
     "workload_names",
+    "paper_workload_names",
     "get_profile",
+    "get_family",
     "make_workload",
+    "register_workload",
+    "validate_workload",
     "table3_rows",
 ]

@@ -40,8 +40,8 @@ streams instead.)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
 
 import numpy as np
 
@@ -167,13 +167,11 @@ class SyntheticWorkload:
         store_chunks: List[np.ndarray] = []
         addr_chunks: List[np.ndarray] = []
         produced = 0
-        # Sequential-run state [cursor, remaining], carried across chunks of
-        # one call but reset per call (the scalar generator's semantics).
-        run_state = [0, 0]
+        state = self._new_stream_state()
         while produced < num_references:
             stores, addrs = self._generate_chunk(
                 node, min(self.CHUNK_ITERATIONS, num_references - produced),
-                cls_stream, addr_stream, run_stream, run_state)
+                cls_stream, addr_stream, run_stream, state)
             store_chunks.append(stores)
             addr_chunks.append(addrs)
             produced += len(stores)
@@ -189,11 +187,21 @@ class SyntheticWorkload:
         return [(store if is_store else load, address)
                 for is_store, address in zip(store_flags, addresses)]
 
+    def _new_stream_state(self) -> Dict[str, List[int]]:
+        """Per-``generate``-call cross-chunk state.
+
+        ``"run"`` is the sequential-run state ``[cursor, remaining]``,
+        carried across chunks of one call but reset per call (the scalar
+        generator's semantics).  Family subclasses may add further entries
+        (e.g. the hotspot burst carry) without changing the base schedule.
+        """
+        return {"run": [0, 0]}
+
     def _generate_chunk(self, node: int, iterations: int,
                         cls_stream: np.random.Generator,
                         addr_stream: np.random.Generator,
                         run_stream: np.random.Generator,
-                        run_state: List[int],
+                        state: Dict[str, List[int]],
                         ) -> Tuple[np.ndarray, np.ndarray]:
         """One vectorized chunk: ``(store_mask, addresses)`` arrays.
 
@@ -236,11 +244,12 @@ class SyntheticWorkload:
                 addresses[pos + 1] = pair_addr
                 store_mask[pos + 1] = True
 
-        # Shared region, zipf-skewed toward hot blocks.
+        # Shared region; how indices are drawn is the family's main hook
+        # (zipf-skewed hot blocks by default).
         shared_count = int(shared_m.sum())
         if shared_count:
-            idx = self._zipf_indices(addr_stream, p.shared_blocks,
-                                     p.shared_zipf_alpha, shared_count)
+            idx = self._shared_indices(node, shared_count, k[shared_m],
+                                       addr_stream, run_stream, state)
             pos = first_ref_pos[shared_m]
             addresses[pos] = self._shared_base + idx * bb
             store_mask[pos] = k[shared_m] < p.shared_write_fraction
@@ -249,7 +258,7 @@ class SyntheticWorkload:
         private_count = int(private_m.sum())
         if private_count:
             cursors = self._private_cursors(private_count, addr_stream,
-                                            run_stream, run_state)
+                                            run_stream, state["run"])
             pos = first_ref_pos[private_m]
             node_base = (self._private_base
                          + node * p.private_blocks * bb)
@@ -257,6 +266,27 @@ class SyntheticWorkload:
             store_mask[pos] = k[private_m] < p.private_write_fraction
 
         return store_mask, addresses
+
+    def _shared_indices(self, node: int, count: int, k_shared: np.ndarray,
+                        addr_stream: np.random.Generator,
+                        run_stream: np.random.Generator,
+                        state: Dict[str, List[int]]) -> np.ndarray:
+        """Block indices (into the shared region) for ``count`` shared
+        references, in stream order.
+
+        The default draws zipf-skewed indices from the ``.addr`` substream —
+        byte-identical to the pre-registry generator.  Family subclasses
+        override this to shape the shared traffic (hotspot bursts,
+        producer/consumer handoff buffers) while inheriting the whole
+        chunked classification schedule; ``k_shared`` is the per-reference
+        write-classification draw (the same values the caller compares
+        against ``shared_write_fraction``), so an override can correlate
+        the target block with load/store direction without extra draws.
+        """
+        del node, k_shared, run_stream, state  # unused by the default shape
+        p = self.profile
+        return self._zipf_indices(addr_stream, p.shared_blocks,
+                                  p.shared_zipf_alpha, count)
 
     def _private_cursors(self, count: int,
                          addr_stream: np.random.Generator,
@@ -360,8 +390,27 @@ class SyntheticWorkload:
         }
 
 
-def mix_statistics(references: Sequence[Reference]) -> Dict[str, float]:
-    """Read/write/footprint statistics of a reference stream (for tests)."""
+def mix_statistics(references) -> Dict[str, float]:
+    """Read/write/footprint statistics of a reference stream.
+
+    Accepts either one stream (a sequence of references) or a *mixed*
+    per-node mapping ``{node: stream}`` — the shape heterogeneous families
+    (``producer_consumer``, ``mixed``) hand out, where different nodes run
+    different reference mixes.  A mapping is characterised as the union of
+    its streams, with two extra keys: ``nodes`` (streams aggregated) and
+    ``store_fraction_spread`` (max - min per-node store fraction, the
+    heterogeneity signal; 0.0 for a homogeneous assignment).
+    """
+    if isinstance(references, Mapping):
+        streams = [references[node] for node in sorted(references)]
+        combined: List[Reference] = [ref for stream in streams for ref in stream]
+        stats = mix_statistics(combined)
+        fractions = [mix_statistics(stream)["stores"]
+                     for stream in streams if stream]
+        stats["nodes"] = float(len(streams))
+        stats["store_fraction_spread"] = (
+            max(fractions) - min(fractions) if fractions else 0.0)
+        return stats
     if not references:
         return {"stores": 0.0, "loads": 0.0, "unique_blocks": 0.0}
     stores = sum(1 for op, _ in references if op == MemoryOp.STORE)

@@ -1,0 +1,590 @@
+"""The registered workload families.
+
+Importing this module populates the workload registry
+(:mod:`repro.workloads.registry`).  Two kinds of families live here:
+
+* the ``profile`` family — one instance per paper workload (Table 3),
+  wrapping the :class:`~repro.workloads.base.WorkloadProfile` constants of
+  the five profile modules; ``params`` may override any numeric profile
+  field, so a campaign can sweep e.g. ``shared_fraction`` without a new
+  module;
+* four-plus parameterized scenario families that open workload shapes the
+  paper suite cannot express: ``hotspot`` (bursty write storm on a few hot
+  blocks), ``producer_consumer`` (ring/pipeline handoff between
+  neighbouring nodes — per-node heterogeneous by construction), ``phased``
+  (alternating compute/communicate epochs), ``scaled`` (paper profiles with
+  working sets and sharing degree re-derived from the node count) and
+  ``mixed`` (different families assigned to different node ranges).
+
+Every family generates through the v2 chunked-substream schema of
+:class:`~repro.workloads.base.SyntheticWorkload` — classification from
+``.class``, addresses from ``.addr``, run/burst structure from ``.run`` —
+so streams stay deterministic, vectorized and golden-digest pinned
+(``tests/test_workload_registry.py``).  Changing a family's draw schedule
+is a schema change: re-pin its digests deliberately or not at all.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import fields, replace
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.workloads import apache, barnes, jbb, oltp, slashcode
+from repro.workloads.base import Reference, SyntheticWorkload, WorkloadProfile
+from repro.workloads.registry import (
+    WorkloadFamily,
+    get_family,
+    register_workload,
+)
+
+#: The paper's Table 3 profiles, in the order the figures plot them.
+PAPER_PROFILES: Dict[str, WorkloadProfile] = {
+    "jbb": jbb.PROFILE,
+    "apache": apache.PROFILE,
+    "slashcode": slashcode.PROFILE,
+    "oltp": oltp.PROFILE,
+    "barnes": barnes.PROFILE,
+}
+
+#: Profile fields a ``profile``-family ``params`` mapping may override.
+_PROFILE_OVERRIDABLE = tuple(
+    f.name for f in fields(WorkloadProfile)
+    if f.name not in ("name", "description"))
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+def _require_fractions(params: Mapping[str, Any], *names: str) -> None:
+    """Validate probability parameters by their *user-facing* names.
+
+    Part of the fail-fast contract: a bad fraction must die at
+    configuration time naming the parameter the user set, not mid-run
+    inside ``load_workload`` naming the internal profile field it feeds.
+    """
+    for name in names:
+        value = float(params[name])
+        _require(0.0 <= value <= 1.0,
+                 f"{name} must be in [0, 1], got {value}")
+
+
+# ============================================================ profile family
+class ProfileWorkloadFamily(WorkloadFamily):
+    """One paper workload: a fixed profile, optionally field-overridden."""
+
+    paper = True
+
+    def __init__(self, profile: WorkloadProfile, order: int) -> None:
+        self.profile = profile
+        self.name = profile.name
+        self.description = profile.description
+        self.order = order
+
+    def validate_params(self, params: Optional[Mapping[str, Any]]
+                        ) -> Dict[str, Any]:
+        if not params:
+            return {}
+        unknown = sorted(set(params) - set(_PROFILE_OVERRIDABLE))
+        if unknown:
+            raise ValueError(
+                f"workload {self.name!r} does not accept parameter(s) "
+                f"{unknown}; accepted profile overrides: "
+                f"{', '.join(_PROFILE_OVERRIDABLE)}")
+        replace(self.profile, **params)  # field validation (__post_init__)
+        return dict(params)
+
+    def build(self, *, num_processors: int, block_bytes: int, seed: int,
+              params: Dict[str, Any]) -> SyntheticWorkload:
+        profile = replace(self.profile, **params) if params else self.profile
+        return SyntheticWorkload(profile, num_processors=num_processors,
+                                 block_bytes=block_bytes, seed=seed)
+
+
+for _order, _profile in enumerate(PAPER_PROFILES.values(), start=1):
+    register_workload(ProfileWorkloadFamily(_profile, order=10 * _order))
+
+
+# =================================================================== hotspot
+class HotspotWorkload(SyntheticWorkload):
+    """Write storm on a few hot blocks, arriving in bursts.
+
+    Rides the base chunk schedule; only the shared-index shape differs:
+    instead of independent zipf draws, a shared reference continues the
+    current *burst* (repeated references to one hot block) or starts a new
+    one — burst start blocks come zipf-skewed from ``.addr``, burst lengths
+    from ``.run`` (``1 + Geometric``-style, mean ``burst_length``), and a
+    burst that overruns the chunk carries into the next one.
+    """
+
+    def __init__(self, profile: WorkloadProfile, *, burst_length: float,
+                 num_processors: int, block_bytes: int, seed: int) -> None:
+        super().__init__(profile, num_processors=num_processors,
+                         block_bytes=block_bytes, seed=seed)
+        self.burst_length = float(burst_length)
+
+    def _new_stream_state(self) -> Dict[str, List[int]]:
+        state = super()._new_stream_state()
+        state["burst"] = [0, 0]  # [hot block, references remaining]
+        return state
+
+    def _shared_indices(self, node: int, count: int, k_shared: np.ndarray,
+                        addr_stream: np.random.Generator,
+                        run_stream: np.random.Generator,
+                        state: Dict[str, List[int]]) -> np.ndarray:
+        del node, k_shared
+        p = self.profile
+        burst = state["burst"]
+        out = np.empty(count, dtype=np.int64)
+        filled = 0
+        if burst[1] > 0:
+            take = min(burst[1], count)
+            out[:take] = burst[0]
+            burst[1] -= take
+            filled = take
+        while filled < count:
+            need = count - filled
+            nburst = max(8, int(need / max(1.0, self.burst_length)) + 1)
+            starts = self._zipf_indices(addr_stream, p.shared_blocks,
+                                        p.shared_zipf_alpha, nburst)
+            lengths = np.maximum(
+                1, run_stream.geometric(1.0 / self.burst_length, size=nburst))
+            ends = np.cumsum(lengths)
+            last = int(np.searchsorted(ends, need, side="left"))
+            if last >= nburst:
+                used, consumed = nburst, int(ends[-1])
+            else:
+                used, consumed = last + 1, need
+            lengths = lengths[:used].copy()
+            overrun = int(ends[used - 1]) - consumed
+            if overrun > 0:
+                lengths[-1] -= overrun
+            out[filled:filled + consumed] = np.repeat(starts[:used], lengths)
+            filled += consumed
+            burst[0] = int(starts[used - 1])
+            burst[1] = overrun if overrun > 0 else 0
+        return out
+
+
+@register_workload
+class HotspotFamily(WorkloadFamily):
+    """N-block write storm with configurable arrival bursts."""
+
+    name = "hotspot"
+    description = "bursty write storm on a small set of hot blocks"
+    order = 60
+    defaults = {
+        "hot_blocks": 8,          #: size of the contended block set
+        "hot_fraction": 0.45,     #: probability a reference storms a hot block
+        "write_fraction": 0.8,    #: probability a hot access is a store
+        "burst_length": 4.0,      #: mean consecutive references per burst
+        "zipf_alpha": 1.6,        #: skew *within* the hot set
+        "private_blocks": 4096,   #: background per-node working set
+    }
+
+    def check_params(self, params: Dict[str, Any]) -> None:
+        _require(int(params["hot_blocks"]) >= 1, "hot_blocks must be >= 1")
+        _require(float(params["burst_length"]) >= 1.0,
+                 "burst_length must be >= 1")
+        _require(int(params["private_blocks"]) >= 1,
+                 "private_blocks must be >= 1")
+        _require(float(params["zipf_alpha"]) > 0.0,
+                 "zipf_alpha must be positive")
+        _require_fractions(params, "hot_fraction", "write_fraction")
+
+    def build(self, *, num_processors: int, block_bytes: int, seed: int,
+              params: Dict[str, Any]) -> HotspotWorkload:
+        profile = WorkloadProfile(
+            name=self.name,
+            description=self.description,
+            private_blocks=int(params["private_blocks"]),
+            shared_blocks=int(params["hot_blocks"]),
+            shared_fraction=float(params["hot_fraction"]),
+            shared_write_fraction=float(params["write_fraction"]),
+            private_write_fraction=0.2,
+            shared_zipf_alpha=float(params["zipf_alpha"]),
+            migratory_fraction=0.0,
+            lock_fraction=0.0,
+            sequential_run_probability=0.4,
+            sequential_run_length=6,
+        )
+        return HotspotWorkload(profile, burst_length=params["burst_length"],
+                               num_processors=num_processors,
+                               block_bytes=block_bytes, seed=seed)
+
+
+# ========================================================= producer/consumer
+class ProducerConsumerWorkload(SyntheticWorkload):
+    """Ring/pipeline handoff: each node writes its own stage buffer and
+    reads its upstream neighbour's.
+
+    Heterogeneous per node by construction — node ``i`` stores into buffer
+    ``i`` and loads from buffer ``(i - 1) mod N``, so consumer loads keep
+    hitting blocks the upstream producer holds MODIFIED: exactly the
+    forwarded-request / writeback-race pattern of the directory protocol's
+    Section 3.1 corner case.  The shared region of the base schedule *is*
+    the concatenated stage buffers; ``k_shared`` (the write-classification
+    draw) selects produce vs. consume, so direction and target buffer stay
+    correlated without extra draws.
+    """
+
+    def __init__(self, profile: WorkloadProfile, *, buffer_blocks: int,
+                 num_processors: int, block_bytes: int, seed: int) -> None:
+        super().__init__(profile, num_processors=num_processors,
+                         block_bytes=block_bytes, seed=seed)
+        self.buffer_blocks = int(buffer_blocks)
+
+    def _shared_indices(self, node: int, count: int, k_shared: np.ndarray,
+                        addr_stream: np.random.Generator,
+                        run_stream: np.random.Generator,
+                        state: Dict[str, List[int]]) -> np.ndarray:
+        del run_stream, state
+        idx = addr_stream.integers(0, self.buffer_blocks, size=count)
+        own = node * self.buffer_blocks
+        upstream = ((node - 1) % self.num_processors) * self.buffer_blocks
+        produce = k_shared < self.profile.shared_write_fraction
+        return np.where(produce, own + idx, upstream + idx)
+
+
+@register_workload
+class ProducerConsumerFamily(WorkloadFamily):
+    """Ring/pipeline handoff across nodes (directory forwarding races)."""
+
+    name = "producer_consumer"
+    description = "ring pipeline: each node feeds its downstream neighbour"
+    order = 70
+    defaults = {
+        "buffer_blocks": 256,        #: blocks per per-node stage buffer
+        "handoff_fraction": 0.35,    #: probability a reference is a handoff
+        "produce_fraction": 0.5,     #: handoff share that writes (vs. reads)
+        "private_blocks": 2048,      #: per-node scratch working set
+        "private_write_fraction": 0.25,
+        "sequential_run_probability": 0.4,
+        "sequential_run_length": 6,
+    }
+
+    def check_params(self, params: Dict[str, Any]) -> None:
+        _require(int(params["buffer_blocks"]) >= 1,
+                 "buffer_blocks must be >= 1")
+        _require(int(params["private_blocks"]) >= 1,
+                 "private_blocks must be >= 1")
+        _require(int(params["sequential_run_length"]) >= 1,
+                 "sequential_run_length must be >= 1")
+        _require_fractions(params, "handoff_fraction", "produce_fraction",
+                           "private_write_fraction",
+                           "sequential_run_probability")
+
+    def build(self, *, num_processors: int, block_bytes: int, seed: int,
+              params: Dict[str, Any]) -> ProducerConsumerWorkload:
+        buffer_blocks = int(params["buffer_blocks"])
+        profile = WorkloadProfile(
+            name=self.name,
+            description=self.description,
+            private_blocks=int(params["private_blocks"]),
+            shared_blocks=num_processors * buffer_blocks,
+            shared_fraction=float(params["handoff_fraction"]),
+            shared_write_fraction=float(params["produce_fraction"]),
+            private_write_fraction=float(params["private_write_fraction"]),
+            shared_zipf_alpha=1.0,  # unused: indices come from the override
+            migratory_fraction=0.0,
+            lock_fraction=0.0,
+            sequential_run_probability=float(
+                params["sequential_run_probability"]),
+            sequential_run_length=int(params["sequential_run_length"]),
+        )
+        return ProducerConsumerWorkload(
+            profile, buffer_blocks=buffer_blocks,
+            num_processors=num_processors, block_bytes=block_bytes, seed=seed)
+
+
+# ==================================================================== phased
+class PhasedWorkload(SyntheticWorkload):
+    """Alternating compute/communicate epochs.
+
+    Epochs are counted in references per node: even epochs use the
+    compute-heavy profile (almost all private traffic), odd epochs the
+    communicate-heavy one (shared-dominated).  Both profiles share every
+    region size — only probabilities differ — so the address-space layout
+    and substream names are common and each node's streams simply continue
+    across phase switches.  The abrupt swings in coherence traffic are what
+    stress checkpoint timing: log pressure spikes in communicate epochs
+    right after quiet compute epochs.
+    """
+
+    def __init__(self, compute_profile: WorkloadProfile,
+                 communicate_profile: WorkloadProfile, *, epoch_length: int,
+                 num_processors: int, block_bytes: int, seed: int) -> None:
+        for attr in ("name", "private_blocks", "shared_blocks",
+                     "lock_blocks", "migratory_records"):
+            if getattr(compute_profile, attr) != getattr(communicate_profile,
+                                                         attr):
+                raise ValueError(
+                    f"phase profiles must share {attr} (common layout and "
+                    "substream names)")
+        super().__init__(compute_profile, num_processors=num_processors,
+                         block_bytes=block_bytes, seed=seed)
+        self.compute_profile = compute_profile
+        self.communicate_profile = communicate_profile
+        self.epoch_length = int(epoch_length)
+        #: References generated so far per node (epoch position).
+        self._position: Dict[int, int] = {}
+
+    def generate(self, node: int, num_references: int) -> List[Reference]:
+        out: List[Reference] = []
+        position = self._position.get(node, 0)
+        remaining = num_references
+        while remaining > 0:
+            epoch, in_epoch = divmod(position, self.epoch_length)
+            take = min(remaining, self.epoch_length - in_epoch)
+            self.profile = (self.communicate_profile if epoch % 2
+                            else self.compute_profile)
+            out.extend(super().generate(node, take))
+            position += take
+            remaining -= take
+        self._position[node] = position
+        self.profile = self.compute_profile
+        return out
+
+
+@register_workload
+class PhasedFamily(WorkloadFamily):
+    """Alternating compute/communicate epochs (checkpoint-timing stress)."""
+
+    name = "phased"
+    description = "alternating compute and communicate epochs"
+    order = 80
+    defaults = {
+        "epoch_length": 1500,               #: references per epoch, per node
+        "compute_shared_fraction": 0.05,    #: sharing during compute epochs
+        "communicate_shared_fraction": 0.6,  #: sharing during communicate
+        "shared_blocks": 2048,
+        "private_blocks": 4096,
+        "shared_write_fraction": 0.3,
+        "zipf_alpha": 1.2,
+    }
+
+    def check_params(self, params: Dict[str, Any]) -> None:
+        _require(int(params["epoch_length"]) >= 1,
+                 "epoch_length must be >= 1")
+        _require(int(params["shared_blocks"]) >= 1,
+                 "shared_blocks must be >= 1")
+        _require(int(params["private_blocks"]) >= 1,
+                 "private_blocks must be >= 1")
+        _require(float(params["zipf_alpha"]) > 0.0,
+                 "zipf_alpha must be positive")
+        _require_fractions(params, "compute_shared_fraction",
+                           "communicate_shared_fraction",
+                           "shared_write_fraction")
+
+    def build(self, *, num_processors: int, block_bytes: int, seed: int,
+              params: Dict[str, Any]) -> PhasedWorkload:
+        compute = WorkloadProfile(
+            name=self.name,
+            description=self.description,
+            private_blocks=int(params["private_blocks"]),
+            shared_blocks=int(params["shared_blocks"]),
+            shared_fraction=float(params["compute_shared_fraction"]),
+            shared_write_fraction=float(params["shared_write_fraction"]),
+            private_write_fraction=0.3,
+            shared_zipf_alpha=float(params["zipf_alpha"]),
+            migratory_fraction=0.0,
+            lock_fraction=0.0,
+            sequential_run_probability=0.6,
+            sequential_run_length=8,
+        )
+        communicate = replace(
+            compute,
+            shared_fraction=float(params["communicate_shared_fraction"]),
+            sequential_run_probability=0.2)
+        return PhasedWorkload(compute, communicate,
+                              epoch_length=params["epoch_length"],
+                              num_processors=num_processors,
+                              block_bytes=block_bytes, seed=seed)
+
+
+# ==================================================================== scaled
+@register_workload
+class ScaledFamily(WorkloadFamily):
+    """Paper profiles with footprint and sharing degree derived from scale.
+
+    The Table 3 profiles were sized for the paper's 16-node machine; run at
+    64 nodes their fixed regions become trivially cache-resident per node.
+    This family re-derives a base profile for the actual node count: with
+    growth factor ``g = max(1, num_processors / baseline_processors)``, the
+    globally shared region and migratory record set grow linearly with the
+    machine (``x g``) while per-node structures — private working set, lock
+    set — grow with ``sqrt(g)`` (same data, more contention per lock).
+    At the baseline node count the derived profile equals the base profile
+    (modulo the ``scaled-<base>`` stream namespace).
+    """
+
+    name = "scaled"
+    description = "paper profile re-derived from the node count"
+    order = 90
+    defaults = {
+        "base": "jbb",               #: paper profile to scale
+        "baseline_processors": 16,   #: node count the base profile targets
+    }
+
+    def check_params(self, params: Dict[str, Any]) -> None:
+        if params["base"] not in PAPER_PROFILES:
+            raise ValueError(
+                f"scaled base must be a paper profile "
+                f"({', '.join(PAPER_PROFILES)}), got {params['base']!r}")
+        _require(int(params["baseline_processors"]) >= 1,
+                 "baseline_processors must be >= 1")
+
+    @staticmethod
+    def derive_profile(base: WorkloadProfile, *, num_processors: int,
+                       baseline_processors: int) -> WorkloadProfile:
+        grow = max(1.0, num_processors / baseline_processors)
+        per_node = math.sqrt(grow)
+        return replace(
+            base,
+            name=f"scaled-{base.name}",
+            shared_blocks=math.ceil(base.shared_blocks * grow),
+            migratory_records=math.ceil(base.migratory_records * grow),
+            lock_blocks=math.ceil(base.lock_blocks * per_node),
+            private_blocks=math.ceil(base.private_blocks * per_node),
+        )
+
+    def build(self, *, num_processors: int, block_bytes: int, seed: int,
+              params: Dict[str, Any]) -> SyntheticWorkload:
+        profile = self.derive_profile(
+            PAPER_PROFILES[params["base"]], num_processors=num_processors,
+            baseline_processors=int(params["baseline_processors"]))
+        return SyntheticWorkload(profile, num_processors=num_processors,
+                                 block_bytes=block_bytes, seed=seed)
+
+
+# ===================================================================== mixed
+class MixedWorkload:
+    """Heterogeneous per-node assignment: node ranges run different families.
+
+    Each slice's sub-generator is built for the *full* machine (so node
+    numbering and per-node substreams line up) but only serves its node
+    range; slice address spaces are disjoint (each shifted past the
+    previous slice's footprint), so sharing happens within a slice, never
+    accidentally across families.  Exposes the same surface as
+    :class:`~repro.workloads.base.SyntheticWorkload`.
+    """
+
+    def __init__(self, parts: List[Tuple[str, Any, int, int]], *,
+                 num_processors: int, block_bytes: int) -> None:
+        #: (family name, generator, first node, node count) per slice.
+        self.parts = parts
+        self.num_processors = num_processors
+        self.block_bytes = block_bytes
+        self._offsets: List[int] = []
+        offset = 0
+        for _name, generator, _first, _count in parts:
+            self._offsets.append(offset)
+            offset += generator.footprint_blocks * block_bytes
+
+    def _slice_for(self, node: int) -> Tuple[Any, int]:
+        for (name, generator, first, count), offset in zip(self.parts,
+                                                           self._offsets):
+            if first <= node < first + count:
+                return generator, offset
+        raise ValueError(f"node {node} outside 0..{self.num_processors - 1}")
+
+    @property
+    def footprint_blocks(self) -> int:
+        return sum(generator.footprint_blocks
+                   for _n, generator, _f, _c in self.parts)
+
+    def generate(self, node: int, num_references: int) -> List[Reference]:
+        generator, offset = self._slice_for(node)
+        if offset == 0:
+            return generator.generate(node, num_references)
+        return [(op, address + offset)
+                for op, address in generator.generate(node, num_references)]
+
+    def generate_all(self, references_per_processor: int
+                     ) -> Dict[int, List[Reference]]:
+        return {node: self.generate(node, references_per_processor)
+                for node in range(self.num_processors)}
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "name": "mixed",
+            "description": MixedFamily.description,
+            "processors": self.num_processors,
+            "footprint_blocks": self.footprint_blocks,
+            "slices": [{"family": name, "first_node": first, "nodes": count}
+                       for name, _g, first, count in self.parts],
+        }
+
+
+@register_workload
+class MixedFamily(WorkloadFamily):
+    """Different workload families on different node ranges."""
+
+    name = "mixed"
+    description = "heterogeneous per-node assignment of other families"
+    order = 100
+    #: Each slice is ``[family]`` (even share of the machine) or
+    #: ``[family, node_count]``; lists, not tuples, so the canonical JSON
+    #: params encoding round-trips unchanged.
+    defaults = {"slices": [["jbb"], ["hotspot"]]}
+
+    def check_params(self, params: Dict[str, Any]) -> None:
+        slices = params["slices"]
+        _require(isinstance(slices, (list, tuple)) and len(slices) > 0,
+                 "mixed slices must be a non-empty list")
+        for entry in slices:
+            _require(isinstance(entry, (list, tuple))
+                     and len(entry) in (1, 2)
+                     and isinstance(entry[0], str),
+                     f"mixed slice must be [family] or [family, nodes], "
+                     f"got {entry!r}")
+            _require(entry[0] != self.name,
+                     "mixed slices cannot nest the mixed family")
+            try:
+                get_family(entry[0])
+            except KeyError as exc:
+                raise ValueError(str(exc)) from None
+            if len(entry) == 2:
+                _require(int(entry[1]) >= 1,
+                         f"slice node count must be >= 1, got {entry[1]!r}")
+
+    @staticmethod
+    def _slice_counts(slices, num_processors: int) -> List[int]:
+        counts = [int(entry[1]) if len(entry) == 2 else 0 for entry in slices]
+        explicit = sum(counts)
+        flexible = counts.count(0)
+        remaining = num_processors - explicit
+        if remaining < flexible or (flexible == 0
+                                    and explicit != num_processors):
+            raise ValueError(
+                f"mixed slices {slices!r} do not fit {num_processors} "
+                "processors")
+        for index, count in enumerate(counts):
+            if count == 0:
+                share = remaining // flexible + (1 if remaining % flexible
+                                                 else 0)
+                share = min(share, remaining - (flexible - 1))
+                counts[index] = share
+                remaining -= share
+                flexible -= 1
+        return counts
+
+    def build(self, *, num_processors: int, block_bytes: int, seed: int,
+              params: Dict[str, Any]) -> MixedWorkload:
+        from repro.workloads.registry import make_workload
+
+        slices = params["slices"]
+        counts = self._slice_counts(slices, num_processors)
+        parts: List[Tuple[str, Any, int, int]] = []
+        first = 0
+        for entry, count in zip(slices, counts):
+            generator = make_workload(entry[0], num_processors=num_processors,
+                                      block_bytes=block_bytes, seed=seed)
+            parts.append((entry[0], generator, first, count))
+            first += count
+        return MixedWorkload(parts, num_processors=num_processors,
+                             block_bytes=block_bytes)

@@ -22,6 +22,7 @@ from repro.experiments import (
     table3_workloads,
 )
 from repro.system.results import RunResult
+from repro.workloads import workload_names
 
 
 def make_result(runtime=1_000, workload="jbb", **kwargs) -> RunResult:
@@ -110,10 +111,21 @@ class TestStructuralExperiments:
 
     def test_table3_measured_rows(self):
         result = table3_workloads.run(num_processors=4, references=500)
-        assert set(result.rows) == {"jbb", "apache", "slashcode", "oltp", "barnes"}
+        assert set(result.rows) == set(workload_names())
+        assert {"jbb", "apache", "slashcode", "oltp", "barnes",
+                "hotspot", "producer_consumer", "phased", "scaled",
+                "mixed"} <= set(result.rows)
         for row in result.rows.values():
             assert 0.0 < row["store fraction"] < 1.0
             assert row["unique blocks"] > 0
+
+    def test_table3_measures_heterogeneous_families_across_all_nodes(self):
+        """The mixed row must reflect both slices, not just node 0's."""
+        result = table3_workloads.run(num_processors=4, references=500)
+        jbb_only = result.rows["jbb"]["store fraction"]
+        mixed = result.rows["mixed"]["store fraction"]
+        hotspot = result.rows["hotspot"]["store fraction"]
+        assert jbb_only < mixed < hotspot
 
     def test_fig1_static_never_reorders_adaptive_sometimes_does(self):
         result = fig1_reordering_demo.run(pairs=80, seed=7)

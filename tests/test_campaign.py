@@ -206,8 +206,8 @@ class TestRegistry:
         discover()
         assert experiment_names() == [
             "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4",
-            "fig5", "topology_scale", "speculation_matrix", "dir_reordering",
-            "snooping_cornercase", "buffer_sweep"]
+            "fig5", "topology_scale", "speculation_matrix", "workload_matrix",
+            "dir_reordering", "snooping_cornercase", "buffer_sweep"]
 
     def test_entries_expose_structured_results_protocol(self):
         discover()

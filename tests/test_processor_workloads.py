@@ -16,6 +16,7 @@ from repro.workloads import (
     PROFILES,
     get_profile,
     make_workload,
+    paper_workload_names,
     table3_rows,
     workload_names,
 )
@@ -169,8 +170,11 @@ class TestL1Filter:
 
 
 class TestWorkloads:
-    def test_five_workloads_registered(self):
-        assert workload_names() == ["jbb", "apache", "slashcode", "oltp", "barnes"]
+    def test_paper_five_lead_the_registry_in_figure_order(self):
+        paper = ["jbb", "apache", "slashcode", "oltp", "barnes"]
+        assert workload_names()[:5] == paper
+        assert paper_workload_names() == paper
+        assert list(PROFILES) == paper
         assert set(table3_rows()) == set(workload_names())
 
     def test_unknown_workload_rejected(self):
