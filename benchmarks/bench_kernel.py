@@ -16,6 +16,10 @@ macro experiment (the Figure 4 recovery-rate sweep) end to end:
 * ``fig4_macro`` — wall-clock seconds for the Figure 4 recovery-rate sweep
   (the experiment the paper's headline figure comes from), plus the
   aggregate simulator events/sec it achieved.
+* ``campaign_batched`` — the workload-matrix quick grid run batched in one
+  process with warm workload/topology memos, against a fresh-subprocess
+  -per-spec baseline (cold imports, cold memos); reports the speedup and
+  checks the two modes produce identical results.
 
 Results are plain dicts so :mod:`tools.perf_report` can serialise them into
 ``BENCH_kernel.json``.  Numbers are wall-clock measurements: run on an idle
@@ -211,6 +215,76 @@ def bench_fig4_macro(workloads: Optional[List[str]] = None,
     return out
 
 
+def bench_campaign_batched(references: int = 250) -> Dict[str, Any]:
+    """Batched in-process vs fresh-subprocess-per-spec on the workload
+    -matrix quick grid.
+
+    The baseline runs every design point in its own freshly spawned
+    interpreter — the way a naive campaign shells out one process per spec:
+    cold imports, cold artifact memos.  The batched run maps the same grid
+    through :class:`repro.campaign.executor.BatchExecutor` in one process
+    with warm workload/topology memos.  Both modes must produce identical
+    results (the batched leg of the determinism contract, reported as
+    ``identical``).
+
+    ``references`` is deliberately short: the benchmark measures per-spec
+    orchestration overhead (process spawn, imports, artifact regeneration),
+    which a long simulation would drown; both raw wall-clock legs are
+    reported so the absolute overhead stays visible either way.
+    """
+    import multiprocessing as mp
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.campaign.executor import BatchExecutor, execute_spec
+    from repro.campaign.precompute import clear_memos, memo_stats
+    from repro.campaign.spec import RunSpec
+    from repro.experiments.workload_matrix import (
+        MAX_CYCLES,
+        PROTOCOLS,
+        QUICK_WORKLOADS,
+        S3_MODES,
+        _point_config,
+        _point_label,
+    )
+
+    specs = [RunSpec(config=_point_config(workload, protocol, s3,
+                                          references=references, seed=1),
+                     label=_point_label(workload, protocol, s3),
+                     max_cycles=MAX_CYCLES)
+             for workload in QUICK_WORKLOADS
+             for protocol in PROTOCOLS
+             for s3 in S3_MODES]
+
+    spawn = mp.get_context("spawn")
+    start = time.perf_counter()
+    per_spec_results = []
+    for spec in specs:
+        with ProcessPoolExecutor(max_workers=1, mp_context=spawn) as pool:
+            per_spec_results.append(pool.submit(execute_spec, spec).result())
+    per_spec_seconds = time.perf_counter() - start
+
+    clear_memos()
+    start = time.perf_counter()
+    batched_results = BatchExecutor().map(specs)
+    batched_seconds = time.perf_counter() - start
+
+    stats = memo_stats()
+    return {
+        "specs": len(specs),
+        "references": references,
+        "per_spec_seconds": round(per_spec_seconds, 3),
+        "wall_seconds": round(batched_seconds, 3),
+        "batched_speedup": round(per_spec_seconds / batched_seconds, 3)
+        if batched_seconds > 0 else float("inf"),
+        "identical": all(a.to_json() == b.to_json()
+                         for a, b in zip(per_spec_results, batched_results)),
+        "stream_hits": stats["stream_hits"],
+        "stream_misses": stats["stream_misses"],
+        "topology_hits": stats["topology_hits"],
+        "topology_misses": stats["topology_misses"],
+    }
+
+
 #: name -> (full-size kwargs, quick kwargs)
 BENCHMARKS: Dict[str, Any] = {
     "event_queue": (bench_event_queue, {"num_events": 200_000},
@@ -228,6 +302,8 @@ BENCHMARKS: Dict[str, Any] = {
                 {"num_decisions": 20_000}),
     "fig4_macro": (bench_fig4_macro, {},
                    {"workloads": ["jbb", "oltp"], "references": 200}),
+    "campaign_batched": (bench_campaign_batched, {"references": 80},
+                         {"references": 60}),
 }
 
 

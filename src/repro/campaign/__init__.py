@@ -17,6 +17,7 @@ architecture rationale.
 """
 
 from repro.campaign.executor import (
+    BatchExecutor,
     Executor,
     ParallelExecutor,
     ResultCache,
@@ -24,6 +25,12 @@ from repro.campaign.executor import (
     execute_spec,
     make_executor,
     reset_global_ids,
+    reset_perf_counters,
+)
+from repro.campaign.precompute import (
+    artifact_keys,
+    clear_memos,
+    memo_stats,
 )
 from repro.campaign.registry import (
     CampaignContext,
@@ -42,6 +49,7 @@ from repro.campaign.spec import (
 )
 
 __all__ = [
+    "BatchExecutor",
     "CampaignContext",
     "ExperimentEntry",
     "Executor",
@@ -51,13 +59,17 @@ __all__ = [
     "SerialExecutor",
     "SweepSpec",
     "all_experiments",
+    "artifact_keys",
     "canonical_json",
+    "clear_memos",
     "config_to_dict",
     "discover",
     "execute_spec",
     "experiment_names",
     "get_experiment",
     "make_executor",
+    "memo_stats",
     "register_experiment",
     "reset_global_ids",
+    "reset_perf_counters",
 ]

@@ -7,10 +7,13 @@ Every simulated run in the repository funnels through :func:`execute_spec`
 parallel executor is a plain ``ProcessPoolExecutor`` fan-out; results come
 back in *spec order*, which keeps reports byte-identical to serial runs.
 
-Both executors accept an optional :class:`ResultCache`: completed runs are
+Every executor accepts an optional :class:`ResultCache`: completed runs are
 stored on disk as :meth:`RunResult.to_json` documents keyed by the spec's
 content hash, so re-running a campaign only simulates design points whose
-configuration actually changed.
+configuration actually changed.  :class:`BatchExecutor` additionally groups
+a batch by the precomputed artifacts its specs share (workload streams,
+topology tables; see :mod:`repro.campaign.precompute`) and runs each group
+consecutively in one process with warm memos.
 """
 
 from __future__ import annotations
@@ -20,8 +23,12 @@ import json
 import os
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import repro.coherence.common as _coherence_common
+import repro.coherence.snooping.bus as _snooping_bus
+import repro.interconnect.message as _message
+from repro.campaign.precompute import artifact_keys
 from repro.campaign.spec import RunSpec, SweepSpec
 from repro.system import build_system
 from repro.system.results import RunResult
@@ -35,16 +42,12 @@ def reset_global_ids() -> None:
     module-global, so without a reset a run's recovery records would embed
     ids that depend on how many runs happened earlier in the same process.
     Resetting before every run makes each design point's result independent
-    of execution order — the property that lets serial, parallel and cached
-    execution produce byte-identical results.
+    of execution order — the property that lets serial, parallel, cached
+    and batched execution produce byte-identical results.
     """
-    import repro.coherence.common as coherence_common
-    import repro.coherence.snooping.bus as snooping_bus
-    import repro.interconnect.message as message
-
-    coherence_common._TRANSACTION_IDS = itertools.count()
-    snooping_bus._REQUEST_IDS = itertools.count()
-    message._MESSAGE_IDS = itertools.count()
+    _coherence_common._TRANSACTION_IDS = itertools.count()
+    _snooping_bus._REQUEST_IDS = itertools.count()
+    _message._MESSAGE_IDS = itertools.count()
 
 
 #: Process-local tallies of simulation work done by :func:`execute_spec`.
@@ -52,6 +55,12 @@ def reset_global_ids() -> None:
 #: serialized into results, so reports stay byte-identical with or without
 #: consumers.  Parallel workers accumulate their own copies.
 PERF_COUNTERS: Dict[str, int] = {"runs": 0, "events_executed": 0}
+
+
+def reset_perf_counters() -> None:
+    """Zero :data:`PERF_COUNTERS` (benchmark harnesses measure deltas)."""
+    for key in PERF_COUNTERS:
+        PERF_COUNTERS[key] = 0
 
 
 def execute_spec(spec: RunSpec) -> RunResult:
@@ -86,6 +95,7 @@ class ResultCache:
         os.makedirs(root, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.stored = 0
 
     def path_for(self, spec: RunSpec) -> str:
         return os.path.join(self.root, spec.content_hash() + ".json")
@@ -112,6 +122,17 @@ class ResultCache:
             if os.path.exists(tmp_path):
                 os.unlink(tmp_path)
             raise
+        self.stored += 1
+
+    def stats(self) -> Dict[str, int]:
+        """Tracked hit/miss/store tallies of this process's cache use.
+
+        Unlike ``len(cache)`` this never touches the filesystem, so it is
+        the summary the runner reports after a campaign (the directory may
+        also hold entries written by other campaigns).
+        """
+        return {"hits": self.hits, "misses": self.misses,
+                "stored": self.stored}
 
     def __len__(self) -> int:
         return sum(1 for name in os.listdir(self.root) if name.endswith(".json"))
@@ -177,6 +198,43 @@ class SerialExecutor(Executor):
         return results  # type: ignore[return-value]
 
 
+class BatchExecutor(SerialExecutor):
+    """In-process executor that orders a batch for artifact reuse.
+
+    Each design point depends on two expensive precomputed artifacts — its
+    generated workload streams and its topology routing tables (DESIGN.md
+    §9).  The memos under :func:`execute_spec` already share them
+    process-globally; this executor additionally groups the batch by
+    :func:`~repro.campaign.precompute.artifact_keys` and runs each group
+    consecutively, so a sweep that interleaves families still executes with
+    every group's artifacts warm and the memos' LRU never thrashes between
+    neighbouring runs.
+
+    Execution order is first-appearance order of the key pair (stable for a
+    given batch); results come back in *spec order* and — because every run
+    resets the global id counters — are byte-identical to serial, parallel
+    and cached execution.
+    """
+
+    def map(self, specs: SpecBatch) -> List[RunResult]:
+        cached = self._lookup(specs)
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        for index, result in cached.items():
+            results[index] = result
+        groups: Dict[Tuple, List[Tuple[int, RunSpec]]] = {}
+        for index, spec in enumerate(specs):
+            if index in cached:
+                continue
+            groups.setdefault(artifact_keys(spec.config), []).append(
+                (index, spec))
+        for members in groups.values():
+            for index, spec in members:
+                result = execute_spec(spec)
+                self._store(spec, result)
+                results[index] = result
+        return results  # type: ignore[return-value]
+
+
 class ParallelExecutor(Executor):
     """Fans design points out to a ``ProcessPoolExecutor``.
 
@@ -239,13 +297,19 @@ class ParallelExecutor(Executor):
 
 
 def make_executor(parallel: int = 0,
-                  cache_dir: Optional[str] = None) -> Executor:
+                  cache_dir: Optional[str] = None,
+                  batched: bool = False) -> Executor:
     """Build the executor the runner CLI asks for.
 
-    ``parallel <= 1`` yields a :class:`SerialExecutor`; anything larger a
-    :class:`ParallelExecutor` with that many workers.
+    ``parallel <= 1`` yields a :class:`SerialExecutor` — or a
+    :class:`BatchExecutor` when ``batched`` is set; anything larger a
+    :class:`ParallelExecutor` with that many workers (each worker process
+    keeps its own memos warm across the specs it runs, so ``batched`` adds
+    nothing there).
     """
     cache = ResultCache(cache_dir) if cache_dir else None
     if parallel and parallel > 1:
         return ParallelExecutor(max_workers=parallel, cache=cache)
+    if batched:
+        return BatchExecutor(cache=cache)
     return SerialExecutor(cache=cache)

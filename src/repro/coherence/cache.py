@@ -24,7 +24,7 @@ StateT = TypeVar("StateT")
 ChangeObserver = Callable[[BlockAddress, str, object, object], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine(Generic[StateT]):
     """One cache line."""
 
@@ -55,6 +55,10 @@ class CacheArray(Generic[StateT]):
         self.invalid_state = invalid_state
         self._sets: List[Dict[BlockAddress, CacheLine[StateT]]] = [
             {} for _ in range(config.num_sets)]
+        # Geometry constants, promoted to instance attributes: set addressing
+        # runs on every cache probe and the config indirection is measurable.
+        self._block_bytes = config.block_bytes
+        self._num_sets = config.num_sets
         self._observer: Optional[ChangeObserver] = None
         self._tick = 0
         self.hits = 0
@@ -72,15 +76,15 @@ class CacheArray(Generic[StateT]):
 
     # ------------------------------------------------------------- addressing
     def set_index(self, address: BlockAddress) -> int:
-        return (address // self.config.block_bytes) % self.config.num_sets
+        return (address // self._block_bytes) % self._num_sets
 
     def _set_for(self, address: BlockAddress) -> Dict[BlockAddress, CacheLine[StateT]]:
-        return self._sets[self.set_index(address)]
+        return self._sets[(address // self._block_bytes) % self._num_sets]
 
     # ----------------------------------------------------------------- lookup
     def lookup(self, address: BlockAddress) -> Optional[CacheLine[StateT]]:
         """Return the line for ``address`` if present (any state), else None."""
-        line = self._set_for(address).get(address)
+        line = self._sets[(address // self._block_bytes) % self._num_sets].get(address)
         if line is not None:
             self._tick += 1
             line.last_used = self._tick
@@ -88,13 +92,13 @@ class CacheArray(Generic[StateT]):
 
     def peek(self, address: BlockAddress) -> Optional[CacheLine[StateT]]:
         """Like :meth:`lookup` but without touching LRU."""
-        return self._set_for(address).get(address)
+        return self._sets[(address // self._block_bytes) % self._num_sets].get(address)
 
     def contains(self, address: BlockAddress) -> bool:
-        return address in self._set_for(address)
+        return address in self._sets[(address // self._block_bytes) % self._num_sets]
 
     def get_state(self, address: BlockAddress) -> StateT:
-        line = self.peek(address)
+        line = self._sets[(address // self._block_bytes) % self._num_sets].get(address)
         return line.state if line is not None else self.invalid_state
 
     # ----------------------------------------------------------------- update

@@ -92,6 +92,19 @@ class DirectoryCacheController(Component):
         #: Bumped on every recovery; delayed actions from before a recovery
         #: (slow-start retries, install retries) are dropped when they fire.
         self.generation = 0
+        #: Lazily bound miss-latency histogram (bound once per controller).
+        self._miss_latency_hist = None
+        #: Message dispatch table, built once (a fresh dict per message is
+        #: measurable at protocol rates).
+        self._handlers: Dict[MessageClass, Callable[[BlockAddress, CoherencePayload], None]] = {
+            MessageClass.FORWARDED_REQUEST_READ_ONLY: self._handle_fwd_gets,
+            MessageClass.FORWARDED_REQUEST_READ_WRITE: self._handle_fwd_getx,
+            MessageClass.INVALIDATION: self._handle_invalidation,
+            MessageClass.WRITEBACK_ACK: self._handle_writeback_ack,
+            MessageClass.DATA: self._handle_data,
+            MessageClass.ACK: self._handle_ack,
+            MessageClass.NACK: self._handle_nack,
+        }
 
     # ================================================================ processor
     def access(self, request: MemoryRequest,
@@ -170,8 +183,11 @@ class DirectoryCacheController(Component):
         self.send(self.home(txn.address), MessageClass.FINAL_ACK, txn.address,
                   CoherencePayload(requestor=self.node_id, txn_id=txn.txn_id))
         self.count("transactions_completed")
-        self.stats.histogram("l2.miss_latency", bucket_width=64).record(
-            self.sim.now - txn.started_at)
+        hist = self._miss_latency_hist
+        if hist is None:
+            hist = self._miss_latency_hist = self.stats.histogram(
+                "l2.miss_latency", bucket_width=64)
+        hist.record(self.sim._now - txn.started_at)
         if request.op == MemoryOp.STORE:
             # Apply the store's value now that the block is writable here.
             if self.cache.contains(txn.address) and request.value is not None:
@@ -209,15 +225,7 @@ class DirectoryCacheController(Component):
         payload: CoherencePayload = message.payload
         address = message.address
         assert address is not None
-        handler = {
-            MessageClass.FORWARDED_REQUEST_READ_ONLY: self._handle_fwd_gets,
-            MessageClass.FORWARDED_REQUEST_READ_WRITE: self._handle_fwd_getx,
-            MessageClass.INVALIDATION: self._handle_invalidation,
-            MessageClass.WRITEBACK_ACK: self._handle_writeback_ack,
-            MessageClass.DATA: self._handle_data,
-            MessageClass.ACK: self._handle_ack,
-            MessageClass.NACK: self._handle_nack,
-        }.get(message.msg_class)
+        handler = self._handlers.get(message.msg_class)
         if handler is None:
             raise ValueError(f"{self.name}: unexpected message {message.msg_class}")
         handler(address, payload)

@@ -10,7 +10,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class CoherencePayload:
     """Protocol-level payload of a directory-protocol message.
 

@@ -12,10 +12,13 @@ Flags:
 * ``--quick`` — reduced workload subset for a fast smoke run.
 * ``--parallel N`` — fan independent design points out to ``N`` worker
   processes; the report is byte-identical to a serial run.
+* ``--batched`` — group each batch by shared precomputed artifacts and run
+  it in-process with warm memos; byte-identical to a serial run.
 * ``--only NAME`` (repeatable) — run a subset of experiments.
 * ``--list`` — show registered experiments and exit.
 * ``--json PATH`` — also write a schema-stable machine-readable results file.
-* ``--cache DIR`` — reuse on-disk cached results keyed by design-point hash.
+* ``--cache DIR`` — reuse on-disk cached results keyed by design-point hash;
+  a hit/miss/stored summary is printed (and included in ``--json``).
 * ``--output PATH`` — also write the text report to a file.
 """
 
@@ -77,13 +80,21 @@ def report_text(results: Dict[str, object]) -> str:
     return SECTION_SEPARATOR.join(result.format() for result in results.values())
 
 
-def report_json(results: Dict[str, object], *, quick: bool = False) -> Dict[str, object]:
-    """The machine-readable campaign report (stable schema)."""
-    return {
+def report_json(results: Dict[str, object], *, quick: bool = False,
+                cache_stats: Optional[Dict[str, int]] = None) -> Dict[str, object]:
+    """The machine-readable campaign report (stable schema).
+
+    ``cache_stats`` is only present when the campaign ran with ``--cache``;
+    cache-less reports keep their exact historical byte form.
+    """
+    report: Dict[str, object] = {
         "schema": REPORT_SCHEMA,
         "quick": quick,
         "experiments": {name: result.to_json() for name, result in results.items()},
     }
+    if cache_stats is not None:
+        report["cache"] = dict(cache_stats)
+    return report
 
 
 def run_all(*, quick: bool = False, executor: Optional[Executor] = None,
@@ -106,6 +117,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="use a reduced workload subset")
     parser.add_argument("--parallel", type=int, default=0, metavar="N",
                         help="run independent design points on N worker processes")
+    parser.add_argument("--batched", action="store_true",
+                        help="group design points by shared precomputed "
+                             "artifacts and run in-process with warm memos")
     parser.add_argument("--only", action="append", default=None, metavar="EXPERIMENT",
                         help="run only this experiment (repeatable); see --list")
     parser.add_argument("--list", action="store_true", dest="list_experiments",
@@ -136,16 +150,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         if unknown:
             parser.error(f"unknown experiments {unknown}; available {known}")
 
-    with make_executor(args.parallel, cache_dir=args.cache) as executor:
+    with make_executor(args.parallel, cache_dir=args.cache,
+                       batched=args.batched) as executor:
         results = run_campaign(quick=args.quick, executor=executor,
                                only=args.only)
+        cache_stats = (executor.cache.stats()
+                       if executor.cache is not None else None)
     report = report_text(results)
     print(report)
+    if cache_stats is not None:
+        print(f"\ncache: {cache_stats['hits']} hits, "
+              f"{cache_stats['misses']} misses, "
+              f"{cache_stats['stored']} stored")
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")
     if args.json:
-        write_json_report(args.json, report_json(results, quick=args.quick))
+        write_json_report(args.json, report_json(results, quick=args.quick,
+                                                 cache_stats=cache_stats))
     return 0
 
 

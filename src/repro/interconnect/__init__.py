@@ -20,8 +20,10 @@ from repro.interconnect.topology import (
     RingTopology,
     Topology,
     TorusTopology,
+    clear_topology_memo,
     make_topology,
     register_topology,
+    shared_topology,
     topology_kinds,
 )
 from repro.interconnect.routing import (
@@ -55,6 +57,8 @@ __all__ = [
     "RingTopology",
     "make_topology",
     "register_topology",
+    "shared_topology",
+    "clear_topology_memo",
     "topology_kinds",
     "Direction",
     "RoutingAlgorithm",

@@ -59,11 +59,13 @@ class Link:
 
     @property
     def is_busy(self) -> bool:
-        return self.sim.now < self.busy_until
+        return self.sim._now < self.busy_until
 
     def next_free_time(self) -> int:
         """Earliest cycle at which a new message could start serialising."""
-        return max(self.sim.now, self.busy_until)
+        now = self.sim._now
+        busy_until = self.busy_until
+        return now if now > busy_until else busy_until
 
     def occupy(self, size_bytes: int) -> int:
         """Claim the link for one message.
@@ -72,13 +74,20 @@ class Link:
         end (serialisation + propagation).  The caller is responsible for
         only calling this when it has decided to transmit.
         """
-        start = self.next_free_time()
-        ser = self.serialization_cycles(size_bytes)
-        self.busy_until = start + ser
+        now = self.sim._now
+        start = self.busy_until
+        if now > start:
+            start = now
+        ser = self._ser_cache.get(size_bytes)
+        if ser is None:
+            ser = serialization_cycles_for(size_bytes, self.cycles_per_byte)
+            self._ser_cache[size_bytes] = ser
+        busy_until = start + ser
+        self.busy_until = busy_until
         self.busy_cycles += ser
         self.messages_carried += 1
         self.bytes_carried += size_bytes
-        return self.busy_until + self.latency_cycles
+        return busy_until + self.latency_cycles
 
     def utilization(self, elapsed_cycles: int) -> float:
         """Fraction of ``elapsed_cycles`` the link spent serialising data."""

@@ -10,9 +10,8 @@ delay) and the endpoints; the coherence payload is opaque to it.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from enum import Enum, IntEnum
-from typing import Any, List, Optional, Tuple
+from typing import Any, Optional, Tuple
 
 
 class VirtualNetwork(IntEnum):
@@ -59,7 +58,7 @@ class MessageClass(str, Enum):
     @property
     def carries_data(self) -> bool:
         """True for messages that carry a 64-byte data block."""
-        return self in (MessageClass.DATA, MessageClass.WRITEBACK)
+        return self in DATA_CLASSES
 
 
 _CLASS_TO_VNET = {
@@ -76,40 +75,47 @@ _CLASS_TO_VNET = {
     MessageClass.FINAL_ACK: VirtualNetwork.FINAL_ACK,
 }
 
+#: Message classes that carry a 64-byte data block (everything else is a
+#: header-sized control message).
+DATA_CLASSES = frozenset((MessageClass.DATA, MessageClass.WRITEBACK))
+
 _MESSAGE_IDS = itertools.count()
 
 
-@dataclass(slots=True)
 class NetworkMessage:
     """One message in flight through the interconnection network.
 
     The network layer fills in the bookkeeping fields (``msg_id``,
     ``send_seq``, ``injected_at``, ``hops``); callers supply the endpoints,
-    the class, the size and the opaque coherence payload.  Slotted because
-    hundreds of thousands of messages are allocated per simulated run.
+    the class, the size and the opaque coherence payload.  Slotted and
+    hand-rolled because hundreds of thousands of messages are allocated per
+    simulated run.
     """
 
-    src: int
-    dst: int
-    msg_class: MessageClass
-    size_bytes: int
-    payload: Any = None
-    #: Memory block address the message concerns (None for e.g. FinalAck).
-    address: Optional[int] = None
-    msg_id: int = field(default_factory=lambda: next(_MESSAGE_IDS))
-    #: Per (src, dst, virtual network) sequence number assigned at injection.
-    send_seq: int = -1
-    injected_at: int = -1
-    delivered_at: int = -1
-    hops: int = 0
-    #: The path of switch ids actually traversed (filled in by the switches).
-    path: List[int] = field(default_factory=list)
-    #: Virtual network, resolved once from ``msg_class`` at construction —
-    #: the network layer reads it on every hop.
-    vnet: VirtualNetwork = field(init=False)
+    __slots__ = ("src", "dst", "msg_class", "size_bytes", "payload", "address",
+                 "msg_id", "send_seq", "injected_at", "delivered_at", "hops",
+                 "vnet")
 
-    def __post_init__(self) -> None:
-        self.vnet = _CLASS_TO_VNET[self.msg_class]
+    def __init__(self, src: int, dst: int, msg_class: MessageClass,
+                 size_bytes: int, payload: Any = None,
+                 address: Optional[int] = None) -> None:
+        self.src = src
+        self.dst = dst
+        self.msg_class = msg_class
+        self.size_bytes = size_bytes
+        self.payload = payload
+        #: Memory block address the message concerns (None for e.g. FinalAck).
+        self.address = address
+        self.msg_id = next(_MESSAGE_IDS)
+        #: Per (src, dst, virtual network) sequence number assigned at
+        #: injection.
+        self.send_seq = -1
+        self.injected_at = -1
+        self.delivered_at = -1
+        self.hops = 0
+        #: Virtual network, resolved once from ``msg_class`` at construction —
+        #: the network layer reads it on every hop.
+        self.vnet = _CLASS_TO_VNET[msg_class]
 
     @property
     def virtual_network(self) -> VirtualNetwork:

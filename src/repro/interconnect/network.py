@@ -17,14 +17,15 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.interconnect.link import Link
-from repro.interconnect.message import MessageClass, NetworkMessage, VirtualNetwork
+from repro.interconnect.message import (DATA_CLASSES, MessageClass,
+                                         NetworkMessage, VirtualNetwork)
 from repro.interconnect.routing import (
     AdaptiveMinimalRouting,
     DimensionOrderRouting,
     RoutingAlgorithm,
 )
 from repro.interconnect.switch import Switch
-from repro.interconnect.topology import Direction, Topology, make_topology
+from repro.interconnect.topology import Direction, Topology, shared_topology
 from repro.sim.config import InterconnectConfig, RoutingPolicy
 from repro.sim.engine import Simulator
 from repro.sim.rng import DeterministicRng
@@ -57,26 +58,29 @@ class OrderingTracker:
         self.per_vnet_reordered: Dict[VirtualNetwork, int] = {vn: 0 for vn in VirtualNetwork}
 
     def _record(self, key: Tuple[int, int, VirtualNetwork]) -> OrderingRecord:
-        if key not in self._records:
-            self._records[key] = OrderingRecord()
-        return self._records[key]
+        record = self._records.get(key)
+        if record is None:
+            record = self._records[key] = OrderingRecord()
+        return record
 
     def assign_send_seq(self, message: NetworkMessage) -> None:
-        record = self._record(message.ordering_key())
+        record = self._record((message.src, message.dst, message.vnet))
         message.send_seq = record.next_send_seq
         record.next_send_seq += 1
 
     def note_delivery(self, message: NetworkMessage) -> bool:
         """Record a delivery; returns True if the message was reordered."""
-        record = self._record(message.ordering_key())
+        record = self._record((message.src, message.dst, message.vnet))
         record.delivered += 1
-        vnet = message.virtual_network
+        vnet = message.vnet
         self.per_vnet_delivered[vnet] += 1
-        reordered = message.send_seq < record.max_delivered_seq
+        send_seq = message.send_seq
+        reordered = send_seq < record.max_delivered_seq
         if reordered:
             record.reordered += 1
             self.per_vnet_reordered[vnet] += 1
-        record.max_delivered_seq = max(record.max_delivered_seq, message.send_seq)
+        else:
+            record.max_delivered_seq = send_seq
         return reordered
 
     def reorder_rate(self, vnet: Optional[VirtualNetwork] = None) -> float:
@@ -135,7 +139,9 @@ class InterconnectNetwork:
         self.stats = stats if stats is not None else StatsRegistry()
         self.rng = rng if rng is not None else DeterministicRng(0)
         topo_cfg = config.resolved_topology()
-        self.topology: Topology = make_topology(topo_cfg.kind, topo_cfg.dims)
+        # Shared read-only geometry: identical (kind, dims) networks reuse
+        # one topology instance with its routing tables already built.
+        self.topology: Topology = shared_topology(topo_cfg.kind, topo_cfg.dims)
         self.ordering = OrderingTracker()
         self.routing = self._make_routing(config.routing)
         self.frequency_hz = frequency_hz
@@ -203,6 +209,8 @@ class InterconnectNetwork:
                 )
                 self._links[(sid, direction)] = link
                 switch.attach_output_link(direction, link)
+        for switch in self._switches.values():
+            switch._finalize_wiring()
 
     # ----------------------------------------------------------------- lookup
     def switch(self, switch_id: int) -> Switch:
@@ -232,16 +240,28 @@ class InterconnectNetwork:
 
     def send(self, message: NetworkMessage) -> None:
         """Inject a message; queues at the NIC if the switch buffer is full."""
-        if message.src not in self._endpoints or message.dst not in self._endpoints:
+        endpoint = self._endpoints.get(message.src)
+        if endpoint is None or message.dst not in self._endpoints:
             raise ValueError(
                 f"both endpoints must be attached before sending ({message!r})")
         self.ordering.assign_send_seq(message)
-        message.injected_at = self.sim.now
+        message.injected_at = self.sim._now
         self.messages_sent += 1
-        self._vnet_counter(self._sent_counters, "sent", message.vnet).value += 1
-        endpoint = self._endpoints[message.src]
-        endpoint.pending_injection.append(message)
-        self._drain_injection_queue(message.src)
+        vnet = message.vnet
+        counter = self._sent_counters[vnet]
+        if counter is None:
+            counter = self._vnet_counter(self._sent_counters, "sent", vnet)
+        counter.value += 1
+        # Inline of _drain_injection_queue (one call + two dict lookups per
+        # protocol message saved; injection almost always succeeds at once).
+        pending = endpoint.pending_injection
+        pending.append(message)
+        inject = self._switches[message.src].inject
+        while pending:
+            if not inject(pending[0]):
+                break
+            pending.popleft()
+            endpoint.injected += 1
 
     def _drain_injection_queue(self, node_id: int) -> None:
         endpoint = self._endpoints[node_id]
@@ -292,18 +312,24 @@ class InterconnectNetwork:
             if epoch != self.flush_epoch:
                 self.stats.counter("network.squashed_in_flight").add()
                 return
-            message.delivered_at = self.sim.now
+            now = self.sim._now
+            message.delivered_at = now
             self.messages_delivered += 1
             endpoint.delivered += 1
-            self.total_message_latency += message.delivered_at - message.injected_at
+            self.total_message_latency += now - message.injected_at
             reordered = self.ordering.note_delivery(message)
             vn = message.vnet
-            self._vnet_counter(self._delivered_counters, "delivered", vn).value += 1
+            counter = self._delivered_counters[vn]
+            if counter is None:
+                counter = self._vnet_counter(self._delivered_counters,
+                                             "delivered", vn)
+            counter.value += 1
             if reordered:
                 self._vnet_counter(self._reordered_counters, "reordered", vn).value += 1
             endpoint.receive(message)
 
-        self.sim.schedule(delay, _deliver, label="deliver")
+        sim = self.sim
+        sim.queue.push(sim._now + delay, _deliver, 0, "deliver")
 
     # ------------------------------------------------------------- measurement
     def mean_message_latency(self) -> float:
@@ -369,7 +395,8 @@ def make_message(src: int, dst: int, msg_class: MessageClass, *,
                  config: Optional[InterconnectConfig] = None) -> NetworkMessage:
     """Build a message with the configured control/data sizes."""
     cfg = config if config is not None else InterconnectConfig()
-    size = cfg.data_message_bytes if msg_class.carries_data else cfg.control_message_bytes
+    size = (cfg.data_message_bytes if msg_class in DATA_CLASSES
+            else cfg.control_message_bytes)
     return NetworkMessage(src=src, dst=dst, msg_class=msg_class,
                           size_bytes=size, payload=payload, address=address)
 

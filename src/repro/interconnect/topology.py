@@ -494,3 +494,43 @@ def make_topology(kind: str, dims: Sequence[int]) -> Topology:
         raise ValueError(f"unknown topology kind {kind!r}; known: {known}") from None
     return cls.from_dims(dims)
 
+
+# ------------------------------------------------------------- shared memo
+#: Process-local hit/miss tallies for :func:`shared_topology`
+#: (observational only; never serialized into results).
+TOPOLOGY_MEMO_STATS: Dict[str, int] = {"topology_hits": 0, "topology_misses": 0}
+
+_TOPOLOGY_MEMO: Dict[Tuple[str, Tuple[int, ...]], Topology] = {}
+
+
+def shared_topology(kind: str, dims: Sequence[int]) -> Topology:
+    """The memoized topology instance for ``(kind, dims)``.
+
+    A topology is pure geometry — its routing tables are a function of the
+    key alone and its rows are read-only by contract — so every network of
+    the same geometry can share one instance instead of rebuilding the
+    O(n^2) ``[src][dst]`` tables per run.  Both tables are forced on the
+    miss path, which makes the returned artifact fully precomputed: a warm
+    hit does no geometry maths at all.  Mutable routing *state* (adaptive
+    tie-breaks, disable windows) lives on per-network routing objects,
+    never on the shared topology.
+    """
+    key = (kind, tuple(int(d) for d in dims))
+    topology = _TOPOLOGY_MEMO.get(key)
+    if topology is not None:
+        TOPOLOGY_MEMO_STATS["topology_hits"] += 1
+        return topology
+    TOPOLOGY_MEMO_STATS["topology_misses"] += 1
+    topology = make_topology(kind, key[1])
+    topology.dimension_order_table()
+    topology.minimal_directions_table()
+    _TOPOLOGY_MEMO[key] = topology
+    return topology
+
+
+def clear_topology_memo() -> None:
+    """Drop every shared topology and zero the tallies (tests / benchmarks)."""
+    _TOPOLOGY_MEMO.clear()
+    TOPOLOGY_MEMO_STATS["topology_hits"] = 0
+    TOPOLOGY_MEMO_STATS["topology_misses"] = 0
+

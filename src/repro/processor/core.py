@@ -76,6 +76,9 @@ class BlockingProcessor(Component, CheckpointParticipant):
         self._waiting_for_memory = False
         self._issue_pending = False
         self._on_finished: Optional[Callable[[int], None]] = None
+        #: Lazily bound shared latency histogram (same registry lifetime as
+        #: the processor, so the binding can never go stale).
+        self._mem_latency_hist = None
 
     # ----------------------------------------------------------------- control
     def start(self, on_finished: Optional[Callable[[int], None]] = None) -> None:
@@ -120,12 +123,13 @@ class BlockingProcessor(Component, CheckpointParticipant):
         self._issue_pending = False
         if self._waiting_for_memory:
             return
-        if self.sim.now < self.stalled_until:
-            self._schedule_issue(self.stalled_until - self.sim.now)
+        now = self.sim._now
+        if now < self.stalled_until:
+            self._schedule_issue(self.stalled_until - now)
             return
         if self.stream_index >= len(self.references):
             if self.finished_at is None:
-                self.finished_at = self.sim.now
+                self.finished_at = now
                 self.count("finished")
                 if self._on_finished is not None:
                     self._on_finished(self.node_id)
@@ -175,8 +179,11 @@ class BlockingProcessor(Component, CheckpointParticipant):
         self._waiting_for_memory = False
         self.references_completed += 1
         self.count("memory_references")
-        self.stats.histogram("proc.mem_latency", bucket_width=64).record(
-            max(0, request.completed_at - request.issued_at))
+        hist = self._mem_latency_hist
+        if hist is None:
+            hist = self._mem_latency_hist = self.stats.histogram(
+                "proc.mem_latency", bucket_width=64)
+        hist.record(max(0, request.completed_at - request.issued_at))
         if self.l1 is not None:
             self.l1.fill(request.address)
         self._schedule_issue(self._compute_gap_cycles())

@@ -101,7 +101,7 @@ class SafetyNet:
                 address=address,
                 field=field,
                 old_value=old_value,
-                logged_at=sim.now))
+                logged_at=sim._now))
 
         return observer
 

@@ -52,8 +52,8 @@ class Component:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         sim = self.sim
-        return sim.queue.push(sim._now + delay, callback, priority=priority,
-                              label=label or self.name)
+        return sim.queue.push(sim._now + delay, callback, priority,
+                              label or self.name)
 
     def count(self, stat: str, amount: int = 1) -> None:
         """Increment a named counter on this component's stats registry."""

@@ -89,7 +89,7 @@ class Event:
     """
 
     __slots__ = ("time", "priority", "seq", "callback", "label", "cancelled",
-                 "_queue")
+                 "static", "_queue")
 
     def __init__(self, time: int, priority: int, seq: int,
                  callback: Callable[[], None], label: str = "",
@@ -100,6 +100,11 @@ class Event:
         self.callback = callback
         self.label = label
         self.cancelled = False
+        #: Static events are owned by their scheduler (e.g. a switch's scan
+        #: event) and re-enter the queue via :meth:`EventQueue.push_static`;
+        #: the dispatch loop must never recycle them — the owner may have
+        #: already re-pushed the same object from inside its own callback.
+        self.static = False
         self._queue = queue
 
     def cancel(self) -> None:
@@ -154,9 +159,14 @@ class EventQueue:
     def __len__(self) -> int:
         return self._live
 
-    def push(self, time: int, callback: Callable[[], None], *,
+    def push(self, time: int, callback: Callable[[], None],
              priority: int = 0, label: str = "") -> Event:
-        """Schedule ``callback`` at absolute cycle ``time`` and return the event."""
+        """Schedule ``callback`` at absolute cycle ``time`` and return the event.
+
+        ``priority``/``label`` are positional-or-keyword: the hottest callers
+        (switch scan scheduling, message forwarding) pass them positionally
+        to skip keyword-argument unpacking.
+        """
         if time < 0:
             raise SimulationError(f"cannot schedule event at negative time {time}")
         seq = self._seq
@@ -176,6 +186,26 @@ class EventQueue:
         heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event
+
+    def push_static(self, event: Event, time: int) -> None:
+        """Re-queue a caller-owned permanent event at absolute cycle ``time``.
+
+        The fast path for events that fire millions of times and are never
+        cancelled (switch scans): only the time and sequence number change,
+        the callback/label/priority are fixed at construction, and the pool
+        is bypassed entirely.  The caller guarantees the event is not
+        currently queued (one pending instance at a time) and has set
+        ``event.static`` so the dispatch loop leaves the object alone after
+        firing it.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        event.time = time
+        event.seq = seq
+        event.cancelled = False
+        event._queue = self
+        heapq.heappush(self._heap, (time, event.priority, seq, event))
+        self._live += 1
 
     def pop(self) -> Optional[Event]:
         """Pop the next non-cancelled event, or ``None`` if the queue is empty."""
@@ -361,22 +391,19 @@ class Simulator:
         heappop = heapq.heappop
         freelist = queue._free
         freelist_max = queue.FREELIST_MAX
+        # Sentinel bounds: one int compare per event instead of a None check
+        # plus a compare.  Simulation times and event counts stay far below
+        # 2**62 (a 4 GHz machine would need ~36 years of simulated time).
+        until_bound = until if until is not None else 1 << 62
+        events_bound = max_events if max_events is not None else 1 << 62
+        heappush = heapq.heappush
         try:
             while True:
                 if self._stop_requested:
                     break
-                if max_events is not None and executed >= max_events:
+                if executed >= events_bound:
                     break
-                # Drop cancelled heads lazily (compaction keeps this short).
-                while heap:
-                    entry = heap[0]
-                    if entry[3].cancelled:
-                        heappop(heap)
-                        # Compaction may have replaced the heap list.
-                        heap = queue._heap
-                    else:
-                        break
-                else:
+                if not heap:
                     made_progress = False
                     for hook in self._quiesce_hooks:
                         hook()
@@ -386,24 +413,38 @@ class Simulator:
                     if not made_progress:
                         break
                     continue
+                # Pop first, discard cancelled entries lazily (compaction
+                # keeps their number short) — one heap access per event
+                # instead of a peek-then-pop pair.
+                entry = heappop(heap)
+                event = entry[3]
+                if event.cancelled:
+                    # Compaction may have replaced the heap list.
+                    heap = queue._heap
+                    continue
                 next_time = entry[0]
-                if until is not None and next_time > until:
+                if next_time > until_bound:
+                    # Out of the window: put the event back (same tuple, so
+                    # ordering is untouched) and stop at the bound.
+                    heappush(heap, entry)
                     self._now = until
                     break
-                heappop(heap)
-                event = entry[3]
                 queue._live -= 1
                 event._queue = None
                 self._now = next_time
                 event.callback()
                 executed += 1
                 # Inline of queue.recycle() — this is the single hottest
-                # statement sequence in the simulator.
-                event.callback = None
-                event.label = ""
-                event.cancelled = True
-                if len(freelist) < freelist_max:
-                    freelist.append(event)
+                # statement sequence in the simulator.  Static events are
+                # owner-managed and skipped: the callback may have already
+                # re-pushed the same object (scan rescheduling itself), and
+                # recycling it here would corrupt the queued entry.
+                if not event.static:
+                    event.callback = None
+                    event.label = ""
+                    event.cancelled = True
+                    if len(freelist) < freelist_max:
+                        freelist.append(event)
                 # A callback may compact the queue (via cancel); re-read.
                 heap = queue._heap
         finally:

@@ -36,8 +36,8 @@ from repro.speculation.detectors import PeriodicInjectionSpeculation
 from repro.speculation.manager import SpeculationManager
 from repro.core.forward_progress import SlowStartGate
 from repro.system.results import RunResult
-from repro.workloads import make_workload
 from repro.workloads.base import SyntheticWorkload
+from repro.workloads.memo import shared_streams
 
 
 class System(ABC):
@@ -124,21 +124,28 @@ class System(ABC):
 
     # --------------------------------------------------------------------- run
     def load_workload(self, workload: Optional[SyntheticWorkload] = None) -> None:
-        """Generate and install per-processor reference streams.
+        """Install per-processor reference streams.
 
-        The default generator is resolved through the workload registry
-        (:mod:`repro.workloads.registry`) from the configured family name
-        and optional ``params``; the configuration was already validated
-        against the registry at construction time, so failures here are
-        generation bugs, not typos.
+        The default path resolves the configured family through the stream
+        memo (:mod:`repro.workloads.memo`): the immutable generated artifact
+        is shared across runs of the same workload design point, and each
+        run receives fresh per-node cursors.  The configuration was already
+        validated against the registry at construction time, so failures
+        here are generation bugs, not typos.  An explicit ``workload``
+        object bypasses the memo and generates directly.
         """
         cfg = self.config
         if workload is None:
-            workload = make_workload(cfg.workload.name,
-                                     num_processors=cfg.num_processors,
-                                     block_bytes=cfg.block_bytes,
-                                     seed=cfg.workload.seed,
-                                     params=cfg.workload.params)
+            artifact = shared_streams(
+                cfg.workload.name,
+                num_processors=cfg.num_processors,
+                block_bytes=cfg.block_bytes,
+                seed=cfg.workload.seed,
+                params=cfg.workload.params,
+                references_per_processor=cfg.workload.references_per_processor)
+            for node in self.nodes:
+                node.processor.references = artifact.cursor(node.node_id)
+            return
         streams = workload.generate_all(cfg.workload.references_per_processor)
         for node in self.nodes:
             node.processor.references = list(streams[node.node_id])

@@ -34,8 +34,9 @@ from repro.coherence.common import home_node
 from repro.coherence.directory.cache_controller import DirectoryCacheController
 from repro.coherence.directory.directory_controller import DirectoryController
 from repro.coherence.directory.states import CacheState, DirectoryState
-from repro.interconnect.message import MessageClass, VirtualNetwork
-from repro.interconnect.network import InterconnectNetwork, make_message
+from repro.interconnect.message import (DATA_CLASSES, MessageClass,
+                                         NetworkMessage, VirtualNetwork)
+from repro.interconnect.network import InterconnectNetwork
 from repro.processor.core import BlockingProcessor
 from repro.processor.l1 import L1FilterCache
 from repro.safetynet.manager import SafetyNet
@@ -78,10 +79,18 @@ class DirectorySystem(System):
         return home_node(address, self.config.num_processors, self.config.block_bytes)
 
     def _make_send(self, src: int) -> Callable:
+        # Hot path: one call per protocol message.  The sizes and the
+        # network's send method are fixed once the system is built, so the
+        # closure binds them instead of re-deriving size via make_message.
+        icfg = self.config.interconnect
+        data_bytes = icfg.data_message_bytes
+        ctrl_bytes = icfg.control_message_bytes
+        network_send = self.network.send
+
         def send(dst: int, msg_class: MessageClass, address: int, payload) -> None:
-            message = make_message(src, dst, msg_class, address=address,
-                                   payload=payload, config=self.config.interconnect)
-            self.network.send(message)
+            size = data_bytes if msg_class in DATA_CLASSES else ctrl_bytes
+            network_send(NetworkMessage(src, dst, msg_class, size,
+                                        payload, address))
         return send
 
     def _build_nodes(self) -> None:

@@ -17,9 +17,15 @@ from typing import Dict
 from repro.workloads import apache, barnes, jbb, oltp, slashcode
 from repro.workloads.base import (
     Reference,
+    StreamArtifact,
     SyntheticWorkload,
     WorkloadProfile,
     mix_statistics,
+)
+from repro.workloads.memo import (
+    clear_stream_memo,
+    shared_streams,
+    stream_key,
 )
 from repro.workloads.registry import (
     WorkloadFamily,
@@ -51,6 +57,7 @@ def get_profile(name: str) -> WorkloadProfile:
 
 __all__ = [
     "Reference",
+    "StreamArtifact",
     "SyntheticWorkload",
     "WorkloadProfile",
     "WorkloadFamily",
@@ -65,4 +72,7 @@ __all__ = [
     "register_workload",
     "validate_workload",
     "table3_rows",
+    "clear_stream_memo",
+    "shared_streams",
+    "stream_key",
 ]

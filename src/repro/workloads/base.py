@@ -52,6 +52,31 @@ from repro.sim.rng import DeterministicRng
 Reference = Tuple[MemoryOp, int]
 
 
+@dataclass(frozen=True)
+class StreamArtifact:
+    """Immutable generated reference streams for one workload design point.
+
+    The expensive part of a workload — drawing and classifying every
+    reference — depends only on ``(family, params, seed, node count, block
+    size, stream length)``, never on the run consuming it.  Freezing the
+    generated streams into per-node tuples separates that shareable artifact
+    from the cheap per-run state: each run takes a fresh mutable
+    :meth:`cursor` per node while the artifact itself can be memoized and
+    reused across runs (see :mod:`repro.workloads.memo`).
+    """
+
+    workload: str
+    num_processors: int
+    references_per_processor: int
+    #: Per-node streams, indexed by node id; tuples so sharing is safe.
+    streams: Tuple[Tuple[Reference, ...], ...]
+
+    def cursor(self, node: int) -> List[Reference]:
+        """A fresh per-run copy of one node's stream (callers may consume
+        or mutate it freely without touching the shared artifact)."""
+        return list(self.streams[node])
+
+
 @dataclass
 class WorkloadProfile:
     """Parameters that shape a synthetic workload.
@@ -374,6 +399,21 @@ class SyntheticWorkload:
         """Generate streams for every processor."""
         return {node: self.generate(node, references_per_processor)
                 for node in range(self.num_processors)}
+
+    def freeze(self, references_per_processor: int) -> StreamArtifact:
+        """Generate every stream once and freeze the result for sharing.
+
+        The artifact carries exactly what :meth:`generate_all` would have
+        produced (same draw schedule, same golden digests), packaged
+        immutably so the memo layer can hand it to many runs.
+        """
+        streams = self.generate_all(references_per_processor)
+        return StreamArtifact(
+            workload=self.profile.name,
+            num_processors=self.num_processors,
+            references_per_processor=references_per_processor,
+            streams=tuple(tuple(streams[node])
+                          for node in range(self.num_processors)))
 
     # -------------------------------------------------------------- reporting
     def summary(self) -> Dict[str, object]:

@@ -1,0 +1,102 @@
+"""Content-keyed memo for generated workload reference streams.
+
+Every run of a design point regenerates its reference streams from scratch,
+yet the streams are a pure function of ``(family, canonical params, seed,
+node count, block size, stream length)`` — a campaign that sweeps protocol
+or routing axes re-derives byte-identical streams dozens of times.  This
+module memoizes the frozen :class:`~repro.workloads.base.StreamArtifact`
+per content key so a process running many related design points generates
+each distinct stream once.
+
+The memo is deliberately invisible to results: a hit returns an artifact
+whose content is byte-identical to fresh generation (pinned by
+``tests/test_precompute.py`` against the golden-digest streams), and hit /
+miss tallies live in a module dict — never in a run's
+:class:`~repro.sim.stats.StatsRegistry` — so reports stay byte-identical
+with or without warm memos.  Capacity is bounded with LRU eviction;
+eviction only costs regeneration time, never changes results.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.workloads.base import StreamArtifact
+from repro.workloads.registry import get_family, make_workload
+
+#: Maximum distinct stream artifacts kept warm (LRU beyond this).  Streams
+#: are the large artifact (nodes x references tuples), so the cap keeps a
+#: long multi-family campaign's footprint bounded.
+STREAM_MEMO_CAPACITY = 64
+
+#: Process-local hit/miss tallies (observational only, like
+#: :data:`repro.campaign.executor.PERF_COUNTERS`).
+MEMO_STATS: Dict[str, int] = {"stream_hits": 0, "stream_misses": 0}
+
+_STREAM_MEMO: "OrderedDict[Tuple, StreamArtifact]" = OrderedDict()
+
+
+def stream_key(name: str, *, num_processors: int, block_bytes: int,
+               seed: int, params: Optional[Mapping[str, object]],
+               references_per_processor: int) -> Tuple:
+    """The content key a generated stream is memoized under.
+
+    ``params`` is canonicalized through the family's
+    ``validate_params`` (defaults merged, unknown keys rejected), so
+    ``params=None`` and an explicit copy of the family defaults memoize to
+    the same key — they generate the same stream.  Any change to family,
+    canonical params, seed, node count, block size or stream length misses.
+    """
+    canonical = get_family(name).validate_params(params)
+    params_json = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return (name, params_json, seed, num_processors, block_bytes,
+            references_per_processor)
+
+
+def shared_streams(name: str, *, num_processors: int, block_bytes: int,
+                   seed: int, params: Optional[Mapping[str, object]],
+                   references_per_processor: int) -> StreamArtifact:
+    """The memoized stream artifact for one workload design point.
+
+    On a miss the streams are generated exactly as a direct
+    ``make_workload(...).generate_all(...)`` would have (same registry
+    path, same RNG tree), then frozen and cached.
+    """
+    key = stream_key(name, num_processors=num_processors,
+                     block_bytes=block_bytes, seed=seed, params=params,
+                     references_per_processor=references_per_processor)
+    artifact = _STREAM_MEMO.get(key)
+    if artifact is not None:
+        _STREAM_MEMO.move_to_end(key)
+        MEMO_STATS["stream_hits"] += 1
+        return artifact
+    MEMO_STATS["stream_misses"] += 1
+    workload = make_workload(name, num_processors=num_processors,
+                             block_bytes=block_bytes, seed=seed, params=params)
+    # Freeze from generate_all rather than SyntheticWorkload.freeze: the
+    # registry may hand back any generator with the same duck-typed surface
+    # (e.g. the heterogeneous MixedWorkload).
+    streams = workload.generate_all(references_per_processor)
+    artifact = StreamArtifact(
+        workload=name,
+        num_processors=num_processors,
+        references_per_processor=references_per_processor,
+        streams=tuple(tuple(streams[node]) for node in range(num_processors)))
+    _STREAM_MEMO[key] = artifact
+    while len(_STREAM_MEMO) > STREAM_MEMO_CAPACITY:
+        _STREAM_MEMO.popitem(last=False)
+    return artifact
+
+
+def stream_memo_len() -> int:
+    """Number of artifacts currently warm (tests / diagnostics)."""
+    return len(_STREAM_MEMO)
+
+
+def clear_stream_memo() -> None:
+    """Drop every warm artifact and zero the tallies (tests / benchmarks)."""
+    _STREAM_MEMO.clear()
+    MEMO_STATS["stream_hits"] = 0
+    MEMO_STATS["stream_misses"] = 0

@@ -40,7 +40,7 @@ SCHEMA = "repro.bench_kernel/v1"
 #: Benchmark-result keys that carry throughput (higher is better) and cost
 #: (lower is better), used for speedup derivation and delta printing.
 RATE_KEYS = ("events_per_sec", "references_per_sec", "records_per_sec",
-             "decisions_per_sec")
+             "decisions_per_sec", "batched_speedup")
 COST_KEYS = ("wall_seconds",)
 
 
