@@ -39,9 +39,9 @@ def _rate(count: int, seconds: float) -> float:
 # --------------------------------------------------------------------- micro
 def bench_event_queue(num_events: int = 200_000) -> Dict[str, Any]:
     """Dispatch throughput: a fan of self-rescheduling callbacks."""
-    from repro.sim.engine import Simulator
+    from repro import kernel
 
-    sim = Simulator()
+    sim = kernel.new_simulator()
     horizon = num_events
 
     def make_ticker(period: int) -> Callable[[], None]:
@@ -71,9 +71,9 @@ def bench_event_churn(num_events: int = 100_000) -> Dict[str, Any]:
     timeout, almost all are cancelled on completion) and exercises cancelled
     -entry compaction in the heap.
     """
-    from repro.sim.engine import Simulator
+    from repro import kernel
 
-    sim = Simulator()
+    sim = kernel.new_simulator()
     fired = 0
     pending: List[Any] = []
 
@@ -150,6 +150,66 @@ def bench_undo_log(num_records: int = 300_000) -> Dict[str, Any]:
         _ = log.occupancy_entries
     elapsed = time.perf_counter() - start
     return {
+        "records": num_records,
+        "seconds": round(elapsed, 6),
+        "records_per_sec": round(_rate(num_records, elapsed), 1),
+    }
+
+
+class _BenchCheckpoint:
+    """Minimal stand-in exposing the one attribute the observer reads."""
+
+    __slots__ = ("seq",)
+
+    def __init__(self, seq: int) -> None:
+        self.seq = seq
+
+
+def bench_undo_observer(num_records: int = 300_000) -> Dict[str, Any]:
+    """The full logging *observer* path, on the active kernel tier.
+
+    Unlike :func:`bench_undo_log` (which measures the shared buffer logic
+    and is tier-independent), this constructs the observer the way
+    :meth:`repro.safetynet.manager.SafetyNet.register_store` does — a C
+    callable on the compiled tier, the closure on the pure tier — so the
+    per-tier trajectory of the record-construction + append hot path is
+    visible in BENCH_kernel.json.
+    """
+    from repro import kernel
+    from repro.safetynet.log import CheckpointLogBuffer, UndoRecord
+
+    log = CheckpointLogBuffer("bench", capacity_bytes=512 * 1024, entry_bytes=72)
+    sim = kernel.new_simulator()
+    checkpoints: List[Any] = [_BenchCheckpoint(0)]
+    impl = kernel.engine_impl()
+    if impl is not None and isinstance(sim, impl.Simulator):
+        observer = impl.LogObserver(log, checkpoints, "l2.0", sim)
+    else:
+        append = log.append
+        def observer(address: int, field: str, old_value: object,
+                     new_value: object) -> None:
+            append(UndoRecord(
+                checkpoint_seq=checkpoints[-1].seq,
+                target_id="l2.0",
+                address=address,
+                field=field,
+                old_value=old_value,
+                logged_at=sim._now))
+
+    records_per_checkpoint = 2_000
+    start = time.perf_counter()
+    seq = 0
+    for i in range(num_records):
+        if i and i % records_per_checkpoint == 0:
+            seq += 1
+            checkpoints[-1].seq = seq
+            if seq >= 3:
+                log.commit_through(seq - 3)
+        observer(i * 64, "state", i, i + 1)
+    elapsed = time.perf_counter() - start
+    assert log.total_logged == num_records
+    return {
+        "tier": kernel.active_tier(),
         "records": num_records,
         "seconds": round(elapsed, 6),
         "records_per_sec": round(_rate(num_records, elapsed), 1),
@@ -298,6 +358,8 @@ BENCHMARKS: Dict[str, Any] = {
                              {"num_references": 40_000, "family": "hotspot"}),
     "undo_log": (bench_undo_log, {"num_records": 300_000},
                  {"num_records": 60_000}),
+    "undo_observer": (bench_undo_observer, {"num_records": 300_000},
+                      {"num_records": 60_000}),
     "routing": (bench_routing, {"num_decisions": 100_000},
                 {"num_decisions": 20_000}),
     "fig4_macro": (bench_fig4_macro, {},
@@ -308,12 +370,35 @@ BENCHMARKS: Dict[str, Any] = {
 
 
 def run_all(quick: bool = False,
-            only: Optional[List[str]] = None) -> Dict[str, Any]:
-    """Run every benchmark (or a subset) and return the results by name."""
-    results: Dict[str, Any] = {}
-    for name, (fn, full_kwargs, quick_kwargs) in BENCHMARKS.items():
-        if only is not None and name not in only:
-            continue
-        kwargs = quick_kwargs if quick else full_kwargs
-        results[name] = fn(**kwargs)
-    return results
+            only: Optional[List[str]] = None,
+            tier: Optional[str] = None) -> Dict[str, Any]:
+    """Run every benchmark (or a subset) and return the results by name.
+
+    ``tier`` selects the kernel tier (``pure`` / ``compiled`` / ``auto``)
+    for the duration of the run; ``None`` keeps the process selection.  The
+    choice is mirrored into ``REPRO_KERNEL`` so benchmarks that spawn
+    subprocesses (``campaign_batched``) run both legs on the same tier.
+    """
+    import os
+
+    from repro import kernel
+
+    prior_env = os.environ.get(kernel.ENV_VAR)
+    if tier is not None:
+        kernel.set_kernel_tier(tier)
+        os.environ[kernel.ENV_VAR] = tier
+    try:
+        results: Dict[str, Any] = {}
+        for name, (fn, full_kwargs, quick_kwargs) in BENCHMARKS.items():
+            if only is not None and name not in only:
+                continue
+            kwargs = quick_kwargs if quick else full_kwargs
+            results[name] = fn(**kwargs)
+        return results
+    finally:
+        if tier is not None:
+            kernel.set_kernel_tier(None)
+            if prior_env is None:
+                os.environ.pop(kernel.ENV_VAR, None)
+            else:
+                os.environ[kernel.ENV_VAR] = prior_env

@@ -1,10 +1,56 @@
-"""Setup shim so that legacy editable installs work without the wheel package.
+"""Setup shim: legacy editable installs plus the optional compiled kernel.
 
 ``pip install -e . --no-build-isolation`` in this offline environment falls
-back to ``setup.py develop``, which this file enables; all real metadata
-lives in ``pyproject.toml``.
+back to ``setup.py develop``, which this file enables.
+
+The compiled kernel tier (``repro._ckernel``, see DESIGN.md §10) is declared
+as an *optional* extension: ``python setup.py build_ext --inplace`` (or the
+friendlier ``python tools/build_kernel.py``) compiles it in place, and a
+missing or failing C toolchain must never break a plain install — the pure
+tier is always sufficient, so build errors for the extension are reported
+but not fatal.
 """
 
-from setuptools import setup
+from setuptools import Extension, setup
+from setuptools.command.build_ext import build_ext
 
-setup()
+
+class optional_build_ext(build_ext):
+    """build_ext that degrades to a warning when no compiler is available."""
+
+    def run(self):
+        try:
+            super().run()
+        except Exception as exc:  # no toolchain at all
+            self._warn(exc)
+
+    def build_extension(self, ext):
+        try:
+            super().build_extension(ext)
+        except Exception as exc:  # compile/link failure
+            self._warn(exc)
+
+    @staticmethod
+    def _warn(exc):
+        import sys
+
+        print(
+            f"warning: optional extension repro._ckernel not built ({exc}); "
+            "the pure-Python kernel tier will be used",
+            file=sys.stderr,
+        )
+
+
+setup(
+    package_dir={"": "src"},
+    packages=["repro"],
+    ext_modules=[
+        Extension(
+            "repro._ckernel",
+            sources=["src/repro/_ckernelmodule.c"],
+            extra_compile_args=["-O2"],
+            optional=True,
+        )
+    ],
+    cmdclass={"build_ext": optional_build_ext},
+)

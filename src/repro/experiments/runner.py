@@ -19,6 +19,9 @@ Flags:
 * ``--json PATH`` — also write a schema-stable machine-readable results file.
 * ``--cache DIR`` — reuse on-disk cached results keyed by design-point hash;
   a hit/miss/stored summary is printed (and included in ``--json``).
+* ``--kernel-tier TIER`` — run on the ``pure`` or ``compiled`` kernel tier
+  (default ``auto``: compiled when the extension is built, pure otherwise).
+  The tiers are byte-identical, so this only affects wall-clock.
 * ``--output PATH`` — also write the text report to a file.
 """
 
@@ -29,6 +32,7 @@ import os
 import sys
 from typing import Dict, List, Optional
 
+from repro import kernel
 from repro.campaign import (
     CampaignContext,
     Executor,
@@ -128,6 +132,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="also write a machine-readable results file")
     parser.add_argument("--cache", type=str, default=None, metavar="DIR",
                         help="cache results on disk keyed by design-point hash")
+    parser.add_argument("--kernel-tier", choices=sorted(kernel.TIERS),
+                        default=None, metavar="TIER",
+                        help="kernel tier to run on: auto (default), pure, or "
+                             "compiled; reports are byte-identical either way")
     parser.add_argument("--output", type=str, default=None,
                         help="also write the text report to this file")
     args = parser.parse_args(argv)
@@ -135,6 +143,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_experiments:
         print(_list_experiments())
         return 0
+
+    if args.kernel_tier is not None:
+        kernel.set_kernel_tier(args.kernel_tier)
+        # Worker processes of --parallel runs re-resolve from the
+        # environment, so mirror the choice there too.
+        os.environ[kernel.ENV_VAR] = args.kernel_tier
+        try:
+            kernel.active_tier()
+        except kernel.KernelTierError as exc:
+            parser.error(str(exc))
 
     # Fail on bad arguments *before* running the (possibly hour-long)
     # campaign, not after; a crash mid-campaign keeps its traceback.

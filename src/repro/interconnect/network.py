@@ -16,6 +16,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from repro import kernel
 from repro.interconnect.link import Link
 from repro.interconnect.message import (DATA_CLASSES, MessageClass,
                                          NetworkMessage, VirtualNetwork)
@@ -211,6 +212,40 @@ class InterconnectNetwork:
                 switch.attach_output_link(direction, link)
         for switch in self._switches.values():
             switch._finalize_wiring()
+        self._install_compiled_cores()
+
+    def _install_compiled_cores(self) -> None:
+        """Swap every switch's hot path for its compiled core (no-op on the
+        pure tier).
+
+        Cores are installed network-wide or not at all: the credit-release
+        and forwarding paths wake *peer* cores directly, so a mixed network
+        would desynchronise the scan bookkeeping.  Installation happens once
+        the wiring is final and before any traffic exists, so no state has
+        to migrate — the cores read the same buffers, links and counters the
+        pure methods use, and `_scan_event` is replaced before anything can
+        have scheduled it.
+        """
+        impl = kernel.engine_impl()
+        if impl is None or not hasattr(impl, "SwitchCore"):
+            return
+        if not isinstance(self.sim, impl.Simulator):
+            return
+        switches = list(self._switches.values())
+        # The core's occupancy mask is a 64-bit word; geometries with more
+        # scan slots per switch stay on the pure methods.
+        if any(len(s._scan_slots) > 64 for s in switches):
+            return
+        for switch in switches:
+            switch._core = impl.SwitchCore(switch)
+        for switch in switches:
+            switch._core.bind()
+        for switch in switches:
+            core = switch._core
+            switch.inject = core.inject
+            switch.receive_from_link = core.receive_from_link
+            switch.schedule_scan = core.schedule_scan
+            switch._scan_event = core.scan_event
 
     # ----------------------------------------------------------------- lookup
     def switch(self, switch_id: int) -> Switch:

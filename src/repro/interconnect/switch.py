@@ -112,8 +112,11 @@ class Switch(Component):
         #: wave per switch), are never cancelled, and at most one is pending
         #: (``_scan_scheduled``), so the switch owns a single static Event
         #: that the kernel re-pushes without touching the freelist.
-        self._scan_event = Event(0, 0, 0, self._scan, self._scan_label)
-        self._scan_event.static = True
+        #: Created by the queue itself so the event matches the kernel tier
+        #: the simulator was built with (a compiled queue only accepts
+        #: compiled events).
+        self._scan_event = sim.queue.new_static_event(self._scan,
+                                                      self._scan_label)
         #: Bitmask of scan entries whose buffer is non-empty — maintained at
         #: the (only) push/pop sites below, so a scan visits exactly the
         #: occupied buffers (ascending entry order, i.e. the original scan
@@ -153,6 +156,11 @@ class Switch(Component):
         self._route_row: Optional[List[Direction]] = None
         self._can_eject = network.can_eject
         self._deliver = network.deliver_to_endpoint
+        #: Compiled hot path (repro._ckernel.SwitchCore) when the network
+        #: installed one — None on the pure tier.  The core owns the
+        #: occupancy mask and scan flag from then on; inject /
+        #: receive_from_link / schedule_scan are rebound to it.
+        self._core = None
         self._out: Dict[Direction, Optional[tuple]] = {}
         #: Upstream switch feeding each input port (None for LOCAL): the
         #: credit-release path wakes it directly.
@@ -503,5 +511,7 @@ class Switch(Component):
         for channels in self.input_channels.values():
             dropped.extend(channels.drain())
         self._active_mask = 0
+        if self._core is not None:
+            self._core.clear_mask()
         return dropped
 

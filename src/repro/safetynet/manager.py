@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from repro import kernel
 from repro.core.events import MisspeculationEvent, RecoveryRecord
 from repro.safetynet.checkpoint import Checkpoint, CheckpointParticipant
 from repro.safetynet.log import CheckpointLogBuffer, UndoRecord
@@ -93,6 +94,11 @@ class SafetyNet:
         append = log.append
         checkpoints = self._checkpoints
         sim = self.sim
+        impl = kernel.engine_impl()
+        if impl is not None and isinstance(sim, impl.Simulator):
+            # Compiled tier: record construction + append run in C against
+            # the same log buffer (commit/discard/queries stay pure).
+            return impl.LogObserver(log, checkpoints, target_id, sim)
 
         def observer(address: int, field: str, old_value: object, new_value: object) -> None:
             append(UndoRecord(

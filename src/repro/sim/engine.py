@@ -207,11 +207,40 @@ class EventQueue:
         heapq.heappush(self._heap, (time, event.priority, seq, event))
         self._live += 1
 
+    def new_static_event(self, callback: Callable[[], None], label: str = "",
+                         priority: int = 0) -> Event:
+        """Create a caller-owned static event compatible with this queue.
+
+        Static events (e.g. a switch's scan event) are re-queued via
+        :meth:`push_static` and never recycled by the dispatch loop.  Both
+        kernel tiers provide this factory so owners never construct events
+        of the wrong tier (a compiled queue only accepts compiled events).
+        """
+        event = Event(0, priority, 0, callback, label)
+        event.static = True
+        return event
+
+    def _recycle_cancelled(self, event: Event) -> None:
+        """Pool a cancelled entry skimmed off the heap.
+
+        Cancellation already nulled the callback and disowned the queue, and
+        the handle is dead by the lifecycle rule (DESIGN.md §5), so the
+        object is free for reuse the moment its heap entry is discarded.
+        Without this, timeout-heavy patterns (schedule + cancel per
+        transaction) allocate a fresh ``Event`` per timeout even though the
+        freelist exists — the ``event_churn`` regression fixed in PR 7.
+        """
+        event.label = ""
+        free = self._free
+        if len(free) < self.FREELIST_MAX:
+            free.append(event)
+
     def pop(self) -> Optional[Event]:
         """Pop the next non-cancelled event, or ``None`` if the queue is empty."""
         while self._heap:
             event = heapq.heappop(self._heap)[3]
             if event.cancelled:
+                self._recycle_cancelled(event)
                 continue
             self._live -= 1
             # Disown the event: a later cancel() on an already-fired event
@@ -240,6 +269,7 @@ class EventQueue:
             event = entry[3]
             if event.cancelled:
                 heappop(heap)
+                self._recycle_cancelled(event)
                 continue
             if count == 0:
                 batch_time = entry[0]
@@ -287,7 +317,7 @@ class EventQueue:
         """Return the firing time of the next live event without popping it."""
         heap = self._heap
         while heap and heap[0][3].cancelled:
-            heapq.heappop(heap)
+            self._recycle_cancelled(heapq.heappop(heap)[3])
         if not heap:
             return None
         return heap[0][0]
@@ -300,9 +330,22 @@ class EventQueue:
         """Drop cancelled entries and rebuild the heap from live ones.
 
         Keys are untouched, so the total dispatch order is identical — only
-        the heap's internal arrangement changes.
+        the heap's internal arrangement changes.  Dropped (cancelled)
+        entries feed the freelist: they are exactly the objects a
+        cancel-heavy pattern would otherwise reallocate.
         """
-        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        live: List[_HeapEntry] = []
+        free = self._free
+        freelist_max = self.FREELIST_MAX
+        for entry in self._heap:
+            event = entry[3]
+            if event.cancelled:
+                event.label = ""
+                if len(free) < freelist_max:
+                    free.append(event)
+            else:
+                live.append(entry)
+        self._heap = live
         heapq.heapify(self._heap)
         self.compactions += 1
 
@@ -419,6 +462,11 @@ class Simulator:
                 entry = heappop(heap)
                 event = entry[3]
                 if event.cancelled:
+                    # Recycle the skimmed entry (cancel already nulled the
+                    # callback and disowned the queue; the handle is dead).
+                    event.label = ""
+                    if len(freelist) < freelist_max:
+                        freelist.append(event)
                     # Compaction may have replaced the heap list.
                     heap = queue._heap
                     continue

@@ -27,9 +27,9 @@ from abc import ABC, abstractmethod
 from dataclasses import replace
 from typing import ClassVar, Dict, List, Optional
 
+from repro import kernel
 from repro.safetynet.manager import SafetyNet
 from repro.sim.config import InterconnectConfig, ProtocolKind, SystemConfig
-from repro.sim.engine import Simulator
 from repro.sim.rng import DeterministicRng
 from repro.sim.stats import StatsRegistry
 from repro.speculation.detectors import PeriodicInjectionSpeculation
@@ -49,7 +49,10 @@ class System(ABC):
     def __init__(self, config: SystemConfig, *, label: Optional[str] = None) -> None:
         self.config = config
         self.label = label if label is not None else self._default_label(config)
-        self.sim = Simulator()
+        # Kernel tier (pure vs compiled) is resolved here, at construction
+        # time — both tiers are byte-identical, so nothing downstream needs
+        # to know which one is executing (see repro.kernel).
+        self.sim = kernel.new_simulator()
         self.stats = StatsRegistry()
         self.rng = DeterministicRng(config.workload.seed)
         self._build_fabric()

@@ -1,0 +1,267 @@
+"""Kernel tier selection, fallback, and pure/compiled byte-parity.
+
+Three groups:
+
+* **Selection/fallback unit tests** — run everywhere, no extension needed:
+  ``REPRO_KERNEL`` parsing, the :func:`repro.kernel.set_kernel_tier`
+  override, silent ``auto`` degradation when the extension is absent, and
+  the loud :class:`repro.kernel.KernelTierError` on an explicit ``compiled``
+  request that cannot be honoured.
+* **Parity gates** — auto-skipped when ``repro._ckernel`` is not built:
+  the fig4 ``--quick --json`` report must be byte-identical across tiers,
+  golden workload digests and spec content hashes must not move, and a
+  small seeded sweep of registry design points must produce byte-identical
+  result JSON on both tiers.
+* **Installation checks** — the compiled tier must actually be *in use*
+  (C simulator, C switch cores, C log observers), because a silently
+  un-installed fast path would make every parity test vacuous.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+
+import pytest
+
+from repro import kernel
+
+HAVE_COMPILED = kernel.compiled_available()
+
+needs_compiled = pytest.mark.skipif(
+    not HAVE_COMPILED,
+    reason="repro._ckernel extension not built (run tools/build_kernel.py)")
+
+
+@pytest.fixture(autouse=True)
+def _restore_tier():
+    """Every test leaves the process on the environment's tier selection."""
+    yield
+    kernel.set_kernel_tier(None)
+
+
+@pytest.fixture()
+def _clean_env(monkeypatch):
+    monkeypatch.delenv(kernel.ENV_VAR, raising=False)
+
+
+# ------------------------------------------------------- selection/fallback
+class TestTierSelection:
+    def test_default_is_auto(self, _clean_env):
+        assert kernel.requested_tier() == "auto"
+
+    def test_env_var_selects(self, monkeypatch):
+        monkeypatch.setenv(kernel.ENV_VAR, "pure")
+        assert kernel.requested_tier() == "pure"
+        assert kernel.active_tier() == "pure"
+
+    def test_env_var_is_normalized(self, monkeypatch):
+        monkeypatch.setenv(kernel.ENV_VAR, "  PURE ")
+        assert kernel.requested_tier() == "pure"
+
+    def test_unknown_tier_rejected(self, monkeypatch):
+        monkeypatch.setenv(kernel.ENV_VAR, "turbo")
+        with pytest.raises(ValueError, match="unknown kernel tier"):
+            kernel.requested_tier()
+        with pytest.raises(ValueError, match="unknown kernel tier"):
+            kernel.set_kernel_tier("turbo")
+
+    def test_override_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(kernel.ENV_VAR, "auto")
+        kernel.set_kernel_tier("pure")
+        assert kernel.requested_tier() == "pure"
+        assert kernel.active_tier() == "pure"
+        kernel.set_kernel_tier(None)
+        assert kernel.requested_tier() == "auto"
+
+    def test_pure_tier_builds_the_python_simulator(self):
+        from repro.sim.engine import Simulator
+
+        kernel.set_kernel_tier("pure")
+        assert kernel.engine_impl() is None
+        assert type(kernel.new_simulator()) is Simulator
+
+    def test_auto_falls_back_silently_without_extension(self, monkeypatch,
+                                                        _clean_env):
+        from repro.sim.engine import Simulator
+
+        monkeypatch.setattr(kernel, "_compiled_module", None)
+        assert kernel.active_tier() == "pure"
+        assert kernel.engine_impl() is None
+        assert type(kernel.new_simulator()) is Simulator
+
+    def test_explicit_compiled_raises_without_extension(self, monkeypatch):
+        monkeypatch.setattr(kernel, "_compiled_module", None)
+        kernel.set_kernel_tier("compiled")
+        with pytest.raises(kernel.KernelTierError,
+                           match="tools/build_kernel.py"):
+            kernel.active_tier()
+
+    def test_kernel_info_reports_unavailable_without_raising(self, monkeypatch):
+        monkeypatch.setattr(kernel, "_compiled_module", None)
+        kernel.set_kernel_tier("compiled")
+        info = kernel.kernel_info()
+        assert info["tier"] == "unavailable"
+        assert info["compiled_available"] is False
+
+    def test_kernel_info_shape(self):
+        info = kernel.kernel_info()
+        assert info["requested"] in kernel.TIERS
+        assert info["tier"] in ("pure", "compiled", "unavailable")
+        assert isinstance(info["compiled_available"], bool)
+
+    @needs_compiled
+    def test_auto_prefers_compiled_when_available(self, _clean_env):
+        assert kernel.active_tier() == "compiled"
+
+    @needs_compiled
+    def test_compiled_tier_builds_the_c_simulator(self):
+        kernel.set_kernel_tier("compiled")
+        impl = kernel.engine_impl()
+        assert impl is not None
+        assert isinstance(kernel.new_simulator(), impl.Simulator)
+
+    @needs_compiled
+    def test_compiler_tag_recorded(self):
+        kernel.set_kernel_tier("compiled")
+        assert kernel.compiler_tag()
+        assert kernel.kernel_info()["compiler"] == kernel.compiler_tag()
+
+
+# -------------------------------------------------------- installed-in-use
+@needs_compiled
+class TestCompiledTierInstalled:
+    def _build_system(self):
+        from repro.sim.config import SystemConfig
+        from repro.system import build_system
+
+        return build_system(SystemConfig.small(num_processors=4,
+                                               references=300, seed=11))
+
+    def test_switch_cores_and_log_observers_installed(self):
+        kernel.set_kernel_tier("compiled")
+        impl = kernel.engine_impl()
+        system = self._build_system()
+        assert isinstance(system.sim, impl.Simulator)
+        switches = system.network.switches
+        assert switches
+        for switch in switches:
+            assert type(switch._core).__name__ == "SwitchCore"
+            assert getattr(switch.inject, "__self__", None) is switch._core
+        # The cache arrays register through SafetyNet.register_store; under
+        # the compiled tier those observers must be the C implementation.
+        observers = [node.l2_array._observer for node in system.nodes
+                     if node.l2_array._observer is not None]
+        assert observers
+        for observer in observers:
+            assert type(observer).__name__ == "LogObserver"
+
+    def test_pure_tier_leaves_switches_uncompiled(self):
+        kernel.set_kernel_tier("pure")
+        system = self._build_system()
+        assert system.network.switches
+        for switch in system.network.switches:
+            assert switch._core is None
+
+
+# ----------------------------------------------------------- parity gates
+def _fig4_quick_json(tier: str, path: str) -> bytes:
+    from repro.experiments import runner
+
+    env_before = os.environ.get(kernel.ENV_VAR)
+    try:
+        assert runner.main(["--only", "fig4", "--quick", "--json", path,
+                            "--kernel-tier", tier]) == 0
+    finally:
+        kernel.set_kernel_tier(None)
+        if env_before is None:
+            os.environ.pop(kernel.ENV_VAR, None)
+        else:
+            os.environ[kernel.ENV_VAR] = env_before
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+@needs_compiled
+class TestTierParity:
+    def test_fig4_quick_report_byte_identical(self, tmp_path, capsys):
+        pure = _fig4_quick_json("pure", str(tmp_path / "pure.json"))
+        compiled = _fig4_quick_json("compiled", str(tmp_path / "compiled.json"))
+        assert pure == compiled
+        # Sanity: the file is a real report, not an empty artifact.
+        report = json.loads(pure)
+        assert report["experiments"]["fig4"]["rows"]
+
+    def test_golden_workload_digest_unmoved_on_compiled_tier(self):
+        # Workload generation does not go through the kernel seam, but the
+        # digest pin still guards against the compiled tier perturbing
+        # shared RNG or import-order state.
+        from repro.workloads import make_workload
+
+        kernel.set_kernel_tier("compiled")
+        workload = make_workload("hotspot", num_processors=4, seed=7)
+        refs = workload.generate(0, 1000)
+        h = hashlib.sha256()
+        for op, addr in refs:
+            h.update(f"{op.value}:{addr};".encode())
+        assert h.hexdigest()[:16] == "8aea56abbbc988d8"
+
+    def test_spec_hashes_stable_across_tiers(self):
+        from repro.campaign.spec import RunSpec
+        from repro.experiments.workload_matrix import (
+            MAX_CYCLES,
+            _point_config,
+            _point_label,
+        )
+        from repro.sim.config import ProtocolKind
+
+        def spec_hash(tier: str) -> str:
+            kernel.set_kernel_tier(tier)
+            spec = RunSpec(
+                config=_point_config("jbb", ProtocolKind.DIRECTORY, False,
+                                     references=100, seed=5),
+                label=_point_label("jbb", ProtocolKind.DIRECTORY, False),
+                max_cycles=MAX_CYCLES)
+            return spec.content_hash()
+
+        assert spec_hash("pure") == spec_hash("compiled")
+
+    def test_randomized_design_points_byte_identical(self):
+        """Seeded sweep: a handful of registry design points, both tiers."""
+        from repro.campaign.executor import execute_spec
+        from repro.campaign.spec import RunSpec
+        from repro.experiments.workload_matrix import (
+            MAX_CYCLES,
+            PROTOCOLS,
+            S3_MODES,
+            _point_config,
+            _point_label,
+        )
+        from repro.workloads import workload_names
+
+        rng = random.Random(0xC0FFEE)
+        grid = [(w, p, s3) for w in sorted(workload_names())
+                for p in PROTOCOLS for s3 in S3_MODES]
+        points = rng.sample(grid, 4)
+
+        def run_tier(tier: str):
+            kernel.set_kernel_tier(tier)
+            outputs = []
+            for workload, protocol, s3 in points:
+                spec = RunSpec(
+                    config=_point_config(workload, protocol, s3,
+                                         references=120, seed=9),
+                    label=_point_label(workload, protocol, s3),
+                    max_cycles=MAX_CYCLES)
+                result = execute_spec(spec)
+                outputs.append(json.dumps(result.to_json(), sort_keys=True))
+            return outputs
+
+        pure = run_tier("pure")
+        compiled = run_tier("compiled")
+        for (workload, protocol, s3), a, b in zip(points, pure, compiled):
+            assert a == b, (
+                f"tier divergence at {workload}/{protocol.value}"
+                f"@{'no-vc' if s3 else 'vc'}")

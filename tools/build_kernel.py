@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Build the optional compiled kernel tier (``repro._ckernel``) in place.
+
+The extension is a single hand-written C file (``src/repro/_ckernelmodule.c``)
+with no dependencies beyond a C compiler and the CPython headers.  Building
+it is the opt-in act for the compiled tier: once the ``.so`` sits next to the
+package, ``REPRO_KERNEL=auto`` (the default) picks it up; removing the
+``.so`` (``--clean``) restores the pure tier.  Nothing in the repository
+requires this script to succeed — every code path falls back to pure Python.
+
+Usage::
+
+    python tools/build_kernel.py            # compile in place
+    python tools/build_kernel.py --clean    # remove built artifacts
+    python tools/build_kernel.py --verify   # build, then import + report
+
+Equivalent to ``python setup.py build_ext --inplace``, but with a clearer
+failure story (exit code 2 and a one-line reason when no compiler is
+available) so CI and humans can tell "broken build" from "no toolchain".
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SOURCE = os.path.join(REPO_ROOT, "src", "repro", "_ckernelmodule.c")
+
+
+def _artifacts() -> list:
+    pattern = os.path.join(REPO_ROOT, "src", "repro", "_ckernel*.so")
+    return sorted(glob.glob(pattern))
+
+
+def clean() -> int:
+    removed = 0
+    for path in _artifacts():
+        os.remove(path)
+        print(f"removed {os.path.relpath(path, REPO_ROOT)}")
+        removed += 1
+    build_dir = os.path.join(REPO_ROOT, "build")
+    if os.path.isdir(build_dir):
+        import shutil
+
+        shutil.rmtree(build_dir)
+        print("removed build/")
+    if not removed:
+        print("nothing to clean")
+    return 0
+
+
+def build() -> int:
+    if not os.path.exists(SOURCE):
+        print(f"error: missing {SOURCE}", file=sys.stderr)
+        return 1
+    # Run setup.py build_ext --inplace in a subprocess so a failed build
+    # cannot leave half-initialised distutils state in this interpreter.
+    cmd = [sys.executable, "setup.py", "build_ext", "--inplace"]
+    proc = subprocess.run(cmd, cwd=REPO_ROOT)
+    if proc.returncode != 0:
+        print(
+            "build failed — the compiled tier is optional; the pure tier "
+            "keeps working (REPRO_KERNEL=auto falls back silently)",
+            file=sys.stderr,
+        )
+        return 2
+    built = _artifacts()
+    if not built:
+        print("build reported success but produced no extension",
+              file=sys.stderr)
+        return 2
+    for path in built:
+        print(f"built {os.path.relpath(path, REPO_ROOT)}")
+    return 0
+
+
+def verify() -> int:
+    # Import in a fresh interpreter so a stale in-process module cannot mask
+    # a broken build.
+    code = (
+        "from repro import kernel\n"
+        "info = kernel.kernel_info()\n"
+        "assert info['compiled_available'], info\n"
+        "print('kernel tier:', info['tier'], '|', info.get('compiler'))\n"
+    )
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run([sys.executable, "-c", code], env=env,
+                          cwd=REPO_ROOT)
+    return proc.returncode
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clean", action="store_true",
+                        help="remove built extension artifacts")
+    parser.add_argument("--verify", action="store_true",
+                        help="after building, import the extension and "
+                             "report the active tier")
+    args = parser.parse_args(argv)
+    if args.clean:
+        return clean()
+    rc = build()
+    if rc == 0 and args.verify:
+        rc = verify()
+    return rc
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

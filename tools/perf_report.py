@@ -2,21 +2,24 @@
 """Measure kernel performance and maintain ``BENCH_kernel.json``.
 
 The committed ``BENCH_kernel.json`` at the repo root is the project's
-performance trajectory: a ``baseline`` section (the numbers measured before
-the kernel overhaul of PR 2, on the pre-overhaul code) and a ``current``
-section (the latest measured numbers), plus the derived speedups.  CI runs
-``--quick --compare BENCH_kernel.json`` after every change and prints the
-delta against the committed numbers — non-gating, because absolute wall
--clock depends on the runner, but a sustained regression is visible in the
-artifact history.
+performance trajectory, tracked **per kernel tier**: a ``tiers`` map with one
+section per tier (``pure``, ``compiled``), each holding its own ``baseline``
+(the numbers that opened that tier's trajectory), ``current`` (the latest
+measured numbers) and derived speedups, plus a ``machine`` block recording
+``kernel_tier`` and — for the compiled tier — the compiler that built the
+extension.  Tiers are never compared against each other: a compiled run only
+ever diffs against compiled history, pure against pure.  CI runs ``--quick
+--compare BENCH_kernel.json`` after every change and prints the same-tier
+delta — non-gating, because absolute wall-clock depends on the runner, but a
+sustained regression is visible in the artifact history.
 
 Usage::
 
     PYTHONPATH=src python tools/perf_report.py                # full suite
     PYTHONPATH=src python tools/perf_report.py --quick        # CI-sized
     PYTHONPATH=src python tools/perf_report.py --only event_queue undo_log
-    PYTHONPATH=src python tools/perf_report.py --output BENCH_kernel.json \
-        --baseline-from old_numbers.json                      # refresh file
+    PYTHONPATH=src python tools/perf_report.py --tier compiled \
+        --output BENCH_kernel.json                 # refresh one tier section
     PYTHONPATH=src python tools/perf_report.py --quick --compare BENCH_kernel.json
 """
 
@@ -34,8 +37,12 @@ sys.path.insert(0, os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "..", "src"))
 
 from benchmarks.bench_kernel import BENCHMARKS, run_all  # noqa: E402
+from repro import kernel  # noqa: E402
 
-SCHEMA = "repro.bench_kernel/v1"
+#: v2: per-tier sections under "tiers" so pure / compiled trajectories are
+#: tracked independently and never compared across tiers.
+SCHEMA = "repro.bench_kernel/v2"
+SCHEMA_V1 = "repro.bench_kernel/v1"
 
 #: Benchmark-result keys that carry throughput (higher is better) and cost
 #: (lower is better), used for speedup derivation and delta printing.
@@ -92,14 +99,43 @@ def print_delta(reference: Dict[str, Any], measured: Dict[str, Any], *,
         print(f"  {path:<{width}}  {speedup:6.2f}x {marker}")
 
 
+def _check_tier_section(path: str, tier: str,
+                        section: Dict[str, Any]) -> List[str]:
+    """Validate one tier's {machine, baseline, current, speedup} block."""
+    problems: List[str] = []
+    machine = section.get("machine")
+    if not isinstance(machine, dict):
+        problems.append(f"{path}: tier {tier!r} missing 'machine' block")
+    elif machine.get("kernel_tier") != tier:
+        problems.append(
+            f"{path}: tier {tier!r} machine block records kernel_tier="
+            f"{machine.get('kernel_tier')!r}; entries must never mix tiers")
+    for part in ("baseline", "current"):
+        if not isinstance(section.get(part), dict):
+            problems.append(f"{path}: tier {tier!r} missing or non-object "
+                            f"{part!r} section")
+    current = section.get("current")
+    if isinstance(current, dict):
+        metrics = _walk_metrics(current)
+        if not metrics:
+            problems.append(f"{path}: tier {tier!r} 'current' contains no "
+                            "rate/cost metrics")
+        bad = [k for k, v in metrics.items()
+               if not isinstance(v, (int, float)) or v != v or v < 0]
+        problems.extend(f"{path}: tier {tier!r} metric {k} has invalid value"
+                        for k in bad)
+    return problems
+
+
 def check_document(path: str) -> List[str]:
     """Validate a committed BENCH document; returns problems (empty = OK).
 
     The delta step of the CI perf job is non-gating, but a *malformed*
     committed baseline would silently break every future comparison, so its
-    structure is checked gatingly: valid JSON, the expected schema tag,
-    dict-shaped ``baseline``/``current`` sections, and at least one numeric
-    rate or cost metric in ``current``.
+    structure is checked gatingly: valid JSON, the expected schema tag, a
+    per-tier ``tiers`` map whose sections each carry a matching
+    ``machine.kernel_tier`` tag plus dict-shaped ``baseline``/``current``
+    sections with at least one numeric rate or cost metric.
     """
     try:
         with open(path, "r", encoding="utf-8") as handle:
@@ -114,26 +150,51 @@ def check_document(path: str) -> List[str]:
     if document.get("schema") != SCHEMA:
         problems.append(f"{path}: schema is {document.get('schema')!r}, "
                         f"expected {SCHEMA!r}")
-    for section in ("baseline", "current"):
-        if not isinstance(document.get(section), dict):
-            problems.append(f"{path}: missing or non-object {section!r} section")
-    current = document.get("current")
-    if isinstance(current, dict):
-        metrics = _walk_metrics(current)
-        if not metrics:
-            problems.append(f"{path}: 'current' contains no rate/cost metrics")
-        bad = [k for k, v in metrics.items()
-               if not isinstance(v, (int, float)) or v != v or v < 0]
-        problems.extend(f"{path}: metric {k} has invalid value" for k in bad)
+        return problems
+    tiers = document.get("tiers")
+    if not isinstance(tiers, dict) or not tiers:
+        return problems + [f"{path}: missing or empty 'tiers' map"]
+    for tier, section in tiers.items():
+        if tier not in ("pure", "compiled"):
+            problems.append(f"{path}: unknown tier {tier!r}")
+            continue
+        if not isinstance(section, dict):
+            problems.append(f"{path}: tier {tier!r} section must be an object")
+            continue
+        problems.extend(_check_tier_section(path, tier, section))
     return problems
 
 
 def machine_info() -> Dict[str, str]:
-    return {
+    info = {
         "python": platform.python_version(),
         "machine": platform.machine(),
         "system": platform.system(),
+        "kernel_tier": kernel.active_tier(),
     }
+    if info["kernel_tier"] == "compiled":
+        compiler = kernel.compiler_tag()
+        if compiler is not None:
+            info["kernel_compiler"] = compiler
+    return info
+
+
+def tier_section(document: Dict[str, Any], tier: str) -> Optional[Dict[str, Any]]:
+    """The same-tier section of a BENCH document (v1 files count as pure).
+
+    Returns ``None`` when the document has no entries for ``tier`` — the
+    caller must then skip the comparison rather than fall back to another
+    tier's numbers.
+    """
+    if document.get("schema") == SCHEMA_V1 or "tiers" not in document:
+        # Legacy single-tier layout: everything in it was measured on the
+        # pure tier (the compiled tier did not exist yet).
+        return document if tier == "pure" else None
+    tiers = document.get("tiers")
+    if not isinstance(tiers, dict):
+        return None
+    section = tiers.get(tier)
+    return section if isinstance(section, dict) else None
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -143,6 +204,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--only", nargs="+", metavar="BENCH",
                         choices=sorted(BENCHMARKS),
                         help="run only these benchmarks")
+    parser.add_argument("--tier", choices=sorted(kernel.TIERS),
+                        help="kernel tier to benchmark (default: the "
+                             "REPRO_KERNEL selection); results land in the "
+                             "matching per-tier section of the document")
     parser.add_argument("--output", metavar="FILE",
                         help="write the full BENCH document to FILE")
     parser.add_argument("--baseline-from", metavar="FILE",
@@ -165,45 +230,96 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{args.check} is well-formed ({SCHEMA})")
         return 0
 
-    results = run_all(quick=args.quick, only=args.only)
+    if args.tier is not None:
+        kernel.set_kernel_tier(args.tier)
+    # Resolve before benchmarking so REPRO_KERNEL=compiled without the
+    # extension fails loudly here instead of silently measuring pure.
+    tier = kernel.active_tier()
+    print(f"kernel tier: {tier}")
+    # Capture machine provenance now, while the resolved tier is pinned
+    # (run_all restores the process selection on exit).
+    machine = machine_info()
+    results = run_all(quick=args.quick, only=args.only, tier=tier)
     print(json.dumps(results, indent=2, sort_keys=True))
 
     if args.compare:
         with open(args.compare, "r", encoding="utf-8") as handle:
             committed = json.load(handle)
-        reference = committed.get("current") or committed.get("baseline") or committed
-        size_mismatch = committed.get("quick") is not None \
-            and bool(committed.get("quick")) != args.quick
-        note = ""
-        if size_mismatch:
-            note = ("; input sizes differ (quick vs full), comparing "
-                    "throughput rates only")
-        print(f"\ndelta vs {args.compare} "
-              f"({'quick' if args.quick else 'full'} inputs; >1.00x is faster"
-              f"{note}):")
-        print_delta(reference, results, rates_only=size_mismatch)
+        reference_section = tier_section(committed, tier)
+        if reference_section is None:
+            # Numbers from a different tier are not a regression baseline.
+            print(f"\n{args.compare} has no {tier!r}-tier entries; "
+                  "skipping delta (tiers are never compared across)")
+        else:
+            reference = (reference_section.get("current")
+                         or reference_section.get("baseline")
+                         or reference_section)
+            size_mismatch = committed.get("quick") is not None \
+                and bool(committed.get("quick")) != args.quick
+            note = ""
+            if size_mismatch:
+                note = ("; input sizes differ (quick vs full), comparing "
+                        "throughput rates only")
+            print(f"\ndelta vs {args.compare} [{tier} tier] "
+                  f"({'quick' if args.quick else 'full'} inputs; >1.00x is "
+                  f"faster{note}):")
+            print_delta(reference, results, rates_only=size_mismatch)
 
     if args.output:
+        prior_tiers: Dict[str, Any] = {}
+        prior_quick = args.quick
+        if os.path.exists(args.output):
+            with open(args.output, "r", encoding="utf-8") as handle:
+                prior_doc = json.load(handle)
+            prior_pure = tier_section(prior_doc, "pure")
+            if prior_pure is not None and "tiers" not in prior_doc:
+                # Migrate a v1 single-tier file: it was all pure-tier data.
+                prior_tiers = {"pure": {
+                    "machine": dict(prior_doc.get("machine", {}),
+                                    kernel_tier="pure"),
+                    "baseline": prior_doc.get("baseline", {}),
+                    "current": prior_doc.get("current", {}),
+                    "speedup_vs_baseline":
+                        prior_doc.get("speedup_vs_baseline", {}),
+                }}
+            else:
+                prior_tiers = dict(prior_doc.get("tiers", {}))
+            prior_quick = prior_doc.get("quick", args.quick)
+            if bool(prior_quick) != args.quick:
+                print(f"note: {args.output} holds "
+                      f"{'quick' if prior_quick else 'full'}-size numbers; "
+                      "refresh every tier at one size to keep the document "
+                      "self-consistent")
         baseline: Dict[str, Any] = {}
         if args.baseline_from:
             with open(args.baseline_from, "r", encoding="utf-8") as handle:
                 prior = json.load(handle)
-            baseline = prior.get("baseline") or prior.get("results") or prior
-        elif os.path.exists(args.output):
-            with open(args.output, "r", encoding="utf-8") as handle:
-                baseline = json.load(handle).get("baseline", {})
-        document = {
-            "schema": SCHEMA,
-            "quick": args.quick,
-            "machine": machine_info(),
+            prior_sec = tier_section(prior, tier)
+            if prior_sec is not None:
+                baseline = (prior_sec.get("baseline")
+                            or prior_sec.get("results") or {})
+            else:
+                baseline = prior.get("baseline") or prior.get("results") or prior
+        elif isinstance(prior_tiers.get(tier), dict):
+            baseline = prior_tiers[tier].get("baseline", {})
+        if not baseline:
+            # First measurement on this tier: it opens the trajectory.
+            baseline = results
+        prior_tiers[tier] = {
+            "machine": machine,
             "baseline": baseline,
             "current": results,
             "speedup_vs_baseline": derive_speedups(baseline, results),
         }
+        document = {
+            "schema": SCHEMA,
+            "quick": args.quick,
+            "tiers": prior_tiers,
+        }
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)
             handle.write("\n")
-        print(f"\nwrote {args.output}")
+        print(f"\nwrote {args.output} ({tier} tier)")
     return 0
 
 
