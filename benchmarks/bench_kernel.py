@@ -20,6 +20,12 @@ macro experiment (the Figure 4 recovery-rate sweep) end to end:
   process with warm workload/topology memos, against a fresh-subprocess
   -per-spec baseline (cold imports, cold memos); reports the speedup and
   checks the two modes produce identical results.
+* ``campaign_sharded`` — the full 40-point workload-matrix grid fanned out
+  to crash-safe store workers (:class:`repro.campaign.sharding
+  .ShardedExecutor`) against an uncached serial baseline; reports the
+  sharded speedup, the worker and CPU counts (speedup is bounded by
+  ``min(workers, cpus)`` — on a single-core runner it is ≤ 1), and checks
+  the two modes produce byte-identical results.
 
 Results are plain dicts so :mod:`tools.perf_report` can serialise them into
 ``BENCH_kernel.json``.  Numbers are wall-clock measurements: run on an idle
@@ -345,6 +351,84 @@ def bench_campaign_batched(references: int = 250) -> Dict[str, Any]:
     }
 
 
+def bench_campaign_sharded(references: int = 80, workers: int = 4,
+                           quick: bool = False) -> Dict[str, Any]:
+    """Sharded store workers vs an uncached serial run on the workload
+    -matrix grid (full: all 40 design points; ``quick``: the 8-point quick
+    grid).
+
+    The sharded leg publishes a campaign manifest to a throwaway store and
+    fans the grid out to ``workers`` crash-safe worker processes claiming
+    design points via lease files — the orchestration under the runner's
+    ``--workers N``.  The serial leg is the same grid through a plain
+    :class:`repro.campaign.executor.SerialExecutor`, uncached.  Both legs
+    must produce byte-identical results (the sharded leg of the determinism
+    contract, reported as ``identical``).
+
+    ``sharded_speedup`` is serial wall-clock over sharded wall-clock.  Its
+    ceiling is ``min(workers, cpus)``: the workers are real processes, so
+    on a single-core machine the sharded run *loses* to serial (spawn +
+    store-polling overhead with zero extra parallelism) — which is why the
+    CPU count rides along in the result.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.campaign.executor import SerialExecutor
+    from repro.campaign.sharding import ShardedExecutor
+    from repro.campaign.spec import RunSpec, SweepSpec
+    from repro.experiments.workload_matrix import (
+        MAX_CYCLES,
+        PROTOCOLS,
+        QUICK_WORKLOADS,
+        S3_MODES,
+        _point_config,
+        _point_label,
+    )
+    from repro.workloads import workload_names
+
+    workloads = QUICK_WORKLOADS if quick else workload_names()
+    sweep = SweepSpec.of("workload-matrix-grid", [
+        RunSpec(config=_point_config(workload, protocol, s3,
+                                     references=references, seed=1),
+                label=_point_label(workload, protocol, s3),
+                max_cycles=MAX_CYCLES)
+        for workload in workloads
+        for protocol in PROTOCOLS
+        for s3 in S3_MODES])
+
+    start = time.perf_counter()
+    serial_results = SerialExecutor().map(sweep)
+    serial_seconds = time.perf_counter() - start
+
+    store = tempfile.mkdtemp(prefix="bench_campaign_sharded_")
+    try:
+        start = time.perf_counter()
+        with ShardedExecutor(workers, store, poll_interval=0.05) as executor:
+            sharded_results = executor.map(sweep)
+        sharded_seconds = time.perf_counter() - start
+    finally:
+        shutil.rmtree(store, ignore_errors=True)
+
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        cpus = os.cpu_count() or 1
+    return {
+        "specs": len(sweep),
+        "workers": workers,
+        "cpus": cpus,
+        "references": references,
+        "serial_seconds": round(serial_seconds, 3),
+        "wall_seconds": round(sharded_seconds, 3),
+        "sharded_speedup": round(serial_seconds / sharded_seconds, 3)
+        if sharded_seconds > 0 else float("inf"),
+        "identical": all(a.to_json() == b.to_json()
+                         for a, b in zip(serial_results, sharded_results)),
+    }
+
+
 #: name -> (full-size kwargs, quick kwargs)
 BENCHMARKS: Dict[str, Any] = {
     "event_queue": (bench_event_queue, {"num_events": 200_000},
@@ -366,6 +450,9 @@ BENCHMARKS: Dict[str, Any] = {
                    {"workloads": ["jbb", "oltp"], "references": 200}),
     "campaign_batched": (bench_campaign_batched, {"references": 80},
                          {"references": 60}),
+    "campaign_sharded": (bench_campaign_sharded,
+                         {"references": 80, "workers": 4},
+                         {"references": 60, "workers": 2, "quick": True}),
 }
 
 

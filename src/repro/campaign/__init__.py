@@ -23,9 +23,15 @@ from repro.campaign.executor import (
     ResultCache,
     SerialExecutor,
     execute_spec,
+    execute_spec_timed,
     make_executor,
     reset_global_ids,
     reset_perf_counters,
+)
+from repro.campaign.manifest import (
+    CampaignManifest,
+    read_manifest,
+    write_manifest,
 )
 from repro.campaign.precompute import (
     artifact_keys,
@@ -45,31 +51,67 @@ from repro.campaign.spec import (
     RunSpec,
     SweepSpec,
     canonical_json,
+    config_from_dict,
     config_to_dict,
+    spec_from_json,
 )
+
+#: Sharding exports resolved lazily (PEP 562): ``python -m
+#: repro.campaign.sharding`` first imports this package, and an eager
+#: import of the very module runpy is about to execute would trigger its
+#: double-import warning on every worker CLI invocation.
+_SHARDING_EXPORTS = frozenset({
+    "LeaseBoard",
+    "ShardedExecutor",
+    "aggregate_partial",
+    "campaign_status",
+    "run_worker",
+    "worker_summaries",
+})
+
+
+def __getattr__(name):
+    if name in _SHARDING_EXPORTS:
+        from repro.campaign import sharding
+
+        return getattr(sharding, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "BatchExecutor",
     "CampaignContext",
+    "CampaignManifest",
     "ExperimentEntry",
     "Executor",
+    "LeaseBoard",
     "ParallelExecutor",
     "ResultCache",
     "RunSpec",
     "SerialExecutor",
+    "ShardedExecutor",
     "SweepSpec",
+    "aggregate_partial",
     "all_experiments",
     "artifact_keys",
+    "campaign_status",
     "canonical_json",
     "clear_memos",
+    "config_from_dict",
     "config_to_dict",
     "discover",
     "execute_spec",
+    "execute_spec_timed",
     "experiment_names",
     "get_experiment",
     "make_executor",
     "memo_stats",
+    "read_manifest",
     "register_experiment",
     "reset_global_ids",
     "reset_perf_counters",
+    "run_worker",
+    "spec_from_json",
+    "worker_summaries",
+    "write_manifest",
 ]

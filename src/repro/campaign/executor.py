@@ -21,17 +21,18 @@ from __future__ import annotations
 import itertools
 import json
 import os
-import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import repro.coherence.common as _coherence_common
 import repro.coherence.snooping.bus as _snooping_bus
 import repro.interconnect.message as _message
+from repro.campaign.manifest import atomic_write_json
 from repro.campaign.precompute import artifact_keys
 from repro.campaign.spec import RunSpec, SweepSpec
 from repro.system import build_system
-from repro.system.results import RunResult
+from repro.system.results import RunResult, RESULT_SCHEMA
 
 
 def reset_global_ids() -> None:
@@ -82,12 +83,39 @@ def execute_spec(spec: RunSpec) -> RunResult:
     return result
 
 
-class ResultCache:
-    """On-disk result store keyed by :meth:`RunSpec.content_hash`.
+def execute_spec_timed(spec: RunSpec) -> Tuple[RunResult, float]:
+    """Run one design point and also return its wall-clock seconds.
 
-    One JSON file per design point.  Writes are atomic (tempfile + rename)
-    so a cache shared between concurrently running campaigns can never hold
-    a torn entry; corrupt or unreadable entries are treated as misses.
+    The timing never enters the :class:`RunResult` (reports stay
+    byte-identical whether or not anyone measures); it rides along in the
+    cache entry *envelope* so ``campaign status`` can report throughput.
+    Module-level for the same reason as :func:`execute_spec`: the parallel
+    executor ships it to worker processes by reference.
+    """
+    start = time.perf_counter()
+    result = execute_spec(spec)
+    return result, time.perf_counter() - start
+
+
+#: Schema tag of a cache entry envelope.  v1 envelopes wrap the result
+#: payload with execution metadata (wall seconds, worker id); bare
+#: pre-envelope entries (a raw ``RunResult.to_json`` document) stay
+#: readable — the *result* schema inside is what gates staleness.
+CACHE_SCHEMA = "repro.campaign.cache/v1"
+
+
+class ResultCache:
+    """On-disk content-addressed result store keyed by
+    :meth:`RunSpec.content_hash`.
+
+    One JSON file per design point, holding a :data:`CACHE_SCHEMA` envelope:
+    the ``result`` payload (byte-identical to what the run produced) plus an
+    execution ``meta`` block (wall seconds, worker id) that never leaks into
+    reports.  Writes are atomic — the document is written to a ``*.tmp``
+    file in the same directory and published with ``os.replace`` — so a
+    store shared between concurrently running campaigns (or workers on
+    other hosts) can never serve a torn entry; corrupt, half-written or
+    wrong-schema entries are rejected on read and treated as misses.
     """
 
     def __init__(self, root: str) -> None:
@@ -100,28 +128,85 @@ class ResultCache:
     def path_for(self, spec: RunSpec) -> str:
         return os.path.join(self.root, spec.content_hash() + ".json")
 
-    def get(self, spec: RunSpec) -> Optional[RunResult]:
-        path = self.path_for(spec)
+    def path_for_hash(self, spec_hash: str) -> str:
+        return os.path.join(self.root, spec_hash + ".json")
+
+    def _load_path(self, path: str,
+                   expect_hash: Optional[str]) -> Optional[Dict[str, Any]]:
+        """Parse one entry into ``{"result":..., "meta":...}``; None = miss."""
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-            result = RunResult.from_json(payload)
-        except (OSError, ValueError, KeyError, TypeError):
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("schema") == CACHE_SCHEMA:
+            recorded = payload.get("spec_hash")
+            if (expect_hash is not None and recorded is not None
+                    and recorded != expect_hash):
+                return None  # misfiled entry: never serve another spec's run
+            result = payload.get("result")
+            meta = payload.get("meta")
+            if not (isinstance(result, dict)
+                    and result.get("schema") == RESULT_SCHEMA):
+                return None
+            return {"result": result,
+                    "meta": meta if isinstance(meta, dict) else {}}
+        if payload.get("schema") == RESULT_SCHEMA:
+            # Pre-envelope entry: the document *is* the result payload.
+            return {"result": payload, "meta": {}}
+        return None
+
+    def _load(self, spec: RunSpec) -> Optional[Dict[str, Any]]:
+        return self._load_path(self.path_for(spec), spec.content_hash())
+
+    def get(self, spec: RunSpec) -> Optional[RunResult]:
+        entry = self._load(spec)
+        if entry is None or entry["result"] is None:
+            self.misses += 1
+            return None
+        try:
+            result = RunResult.from_json(entry["result"])
+        except (ValueError, KeyError, TypeError):
             self.misses += 1
             return None
         self.hits += 1
         return result
 
-    def put(self, spec: RunSpec, result: RunResult) -> None:
-        fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(result.to_json(), handle, sort_keys=True)
-            os.replace(tmp_path, self.path_for(spec))
-        except BaseException:
-            if os.path.exists(tmp_path):
-                os.unlink(tmp_path)
-            raise
+    def meta(self, spec: RunSpec) -> Optional[Dict[str, Any]]:
+        """The execution metadata stored alongside a result.
+
+        ``None`` when the entry is absent/unreadable; ``{}`` for legacy
+        bare entries.  Never counts toward hit/miss tallies — metadata
+        probes (``campaign status`` throughput) are not cache traffic.
+        """
+        return None if (entry := self._load(spec)) is None else entry["meta"]
+
+    def meta_for_hash(self, spec_hash: str) -> Optional[Dict[str, Any]]:
+        """Like :meth:`meta` but keyed by raw content hash (no spec needed),
+        so store-side aggregation never rebuilds design points."""
+        entry = self._load_path(self.path_for_hash(spec_hash), spec_hash)
+        return None if entry is None else entry["meta"]
+
+    def peek(self, spec: RunSpec) -> bool:
+        """Whether a valid entry exists, without counting a hit or miss.
+
+        The sharded worker's completion probe: polled repeatedly, so it
+        must not distort the hit/miss counters the resume tests (and the
+        runner's cache summary) rely on.
+        """
+        return self._load(spec) is not None
+
+    def put(self, spec: RunSpec, result: RunResult, *,
+            meta: Optional[Dict[str, Any]] = None) -> None:
+        envelope = {
+            "schema": CACHE_SCHEMA,
+            "spec_hash": spec.content_hash(),
+            "result": result.to_json(),
+            "meta": dict(meta) if meta else {},
+        }
+        atomic_write_json(self.path_for(spec), envelope)
         self.stored += 1
 
     def stats(self) -> Dict[str, int]:
@@ -177,9 +262,17 @@ class Executor:
                 found[index] = cached
         return found
 
-    def _store(self, spec: RunSpec, result: RunResult) -> None:
-        if self.cache is not None:
-            self.cache.put(spec, result)
+    def _store(self, spec: RunSpec, result: RunResult, *,
+               wall_seconds: Optional[float] = None,
+               worker: Optional[str] = None) -> None:
+        if self.cache is None:
+            return
+        meta: Dict[str, Any] = {}
+        if wall_seconds is not None:
+            meta["wall_seconds"] = round(wall_seconds, 6)
+        if worker is not None:
+            meta["worker"] = worker
+        self.cache.put(spec, result, meta=meta)
 
 
 class SerialExecutor(Executor):
@@ -192,8 +285,8 @@ class SerialExecutor(Executor):
             if index in cached:
                 results[index] = cached[index]
                 continue
-            result = execute_spec(spec)
-            self._store(spec, result)
+            result, seconds = execute_spec_timed(spec)
+            self._store(spec, result, wall_seconds=seconds)
             results[index] = result
         return results  # type: ignore[return-value]
 
@@ -229,8 +322,8 @@ class BatchExecutor(SerialExecutor):
                 (index, spec))
         for members in groups.values():
             for index, spec in members:
-                result = execute_spec(spec)
-                self._store(spec, result)
+                result, seconds = execute_spec_timed(spec)
+                self._store(spec, result, wall_seconds=seconds)
                 results[index] = result
         return results  # type: ignore[return-value]
 
@@ -266,7 +359,7 @@ class ParallelExecutor(Executor):
             results[index] = result
         if pending:
             pool = self._ensure_pool()
-            futures = [(index, spec, pool.submit(execute_spec, spec))
+            futures = [(index, spec, pool.submit(execute_spec_timed, spec))
                        for index, spec in pending]
             # Collect every future before surfacing a failure: a design point
             # that raises (bad config, unknown topology, broken workload)
@@ -277,14 +370,14 @@ class ParallelExecutor(Executor):
             first_error: Optional[Exception] = None
             for index, spec, future in futures:
                 try:
-                    result = future.result()
+                    result, seconds = future.result()
                 except Exception as exc:  # noqa: BLE001 - KeyboardInterrupt
                     # and friends must still propagate immediately; worker
                     # failures (incl. BrokenProcessPool) are Exceptions.
                     if first_error is None:
                         first_error = exc
                     continue
-                self._store(spec, result)
+                self._store(spec, result, wall_seconds=seconds)
                 results[index] = result
             if first_error is not None:
                 raise first_error
@@ -298,15 +391,33 @@ class ParallelExecutor(Executor):
 
 def make_executor(parallel: int = 0,
                   cache_dir: Optional[str] = None,
-                  batched: bool = False) -> Executor:
+                  batched: bool = False,
+                  workers: int = 0,
+                  resume: bool = False) -> Executor:
     """Build the executor the runner CLI asks for.
 
-    ``parallel <= 1`` yields a :class:`SerialExecutor` — or a
-    :class:`BatchExecutor` when ``batched`` is set; anything larger a
-    :class:`ParallelExecutor` with that many workers (each worker process
-    keeps its own memos warm across the specs it runs, so ``batched`` adds
-    nothing there).
+    ``workers >= 1`` yields a :class:`~repro.campaign.sharding
+    .ShardedExecutor` over the shared store at ``cache_dir`` (required:
+    the store *is* the coordination medium).  Otherwise ``parallel <= 1``
+    yields a :class:`SerialExecutor` — or a :class:`BatchExecutor` when
+    ``batched`` is set; anything larger a :class:`ParallelExecutor` with
+    that many workers (each worker process keeps its own memos warm across
+    the specs it runs, so ``batched`` adds nothing there).
     """
+    if workers:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if not cache_dir:
+            raise ValueError(
+                "sharded execution needs a shared store: pass cache_dir "
+                "(the runner's --cache DIR) along with workers")
+        # Imported here: sharding builds on this module.
+        from repro.campaign.sharding import ShardedExecutor
+
+        return ShardedExecutor(workers, cache_dir, resume=resume)
+    if resume:
+        raise ValueError("resume only applies to sharded execution "
+                         "(pass workers >= 1)")
     cache = ResultCache(cache_dir) if cache_dir else None
     if parallel and parallel > 1:
         return ParallelExecutor(max_workers=parallel, cache=cache)

@@ -24,7 +24,19 @@ from dataclasses import asdict, dataclass, field
 from enum import Enum
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.sim.config import SystemConfig
+from repro.sim.config import (
+    CacheConfig,
+    CheckpointConfig,
+    InterconnectConfig,
+    ProcessorConfig,
+    ProtocolKind,
+    ProtocolVariant,
+    RoutingPolicy,
+    SpeculationConfig,
+    SystemConfig,
+    TopologyConfig,
+    WorkloadConfig,
+)
 
 #: Version tag baked into every content hash; bump when the canonical spec
 #: encoding changes so stale cache entries can never be confused for fresh.
@@ -84,6 +96,59 @@ def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
 def canonical_json(payload: Any) -> str:
     """The one canonical JSON encoding used for hashing and byte comparison."""
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def config_from_dict(payload: Dict[str, Any]) -> SystemConfig:
+    """Rebuild a :class:`SystemConfig` from its canonical dictionary form.
+
+    The exact inverse of :func:`config_to_dict` — the round trip
+    ``config_to_dict(config_from_dict(d)) == d`` holds for every canonical
+    encoding the repository produces, so a design point shipped through a
+    campaign manifest (JSON on a shared store, rebuilt by a worker on any
+    host) re-hashes to the same content hash the submitting process wrote.
+    The ``None``-omitted fields decode through their dataclass defaults, and
+    the ``forces-no-vc-network/v2`` marker decodes back to the flag it
+    encodes.
+    """
+    interconnect = dict(payload["interconnect"])
+    topology = interconnect.get("topology")
+    interconnect["topology"] = (
+        TopologyConfig(kind=topology["kind"], dims=tuple(topology["dims"]))
+        if topology is not None else None)
+    interconnect["routing"] = RoutingPolicy(interconnect["routing"])
+    speculation = dict(payload["speculation"])
+    if speculation.get("interconnect_no_vc_speculation") == \
+            "forces-no-vc-network/v2":
+        speculation["interconnect_no_vc_speculation"] = True
+    return SystemConfig(
+        num_processors=payload["num_processors"],
+        protocol=ProtocolKind(payload["protocol"]),
+        variant=ProtocolVariant(payload["variant"]),
+        l1=CacheConfig(**payload["l1"]),
+        l2=CacheConfig(**payload["l2"]),
+        memory_bytes=payload["memory_bytes"],
+        block_bytes=payload["block_bytes"],
+        memory_latency_cycles=payload["memory_latency_cycles"],
+        processor=ProcessorConfig(**payload["processor"]),
+        interconnect=InterconnectConfig(**interconnect),
+        checkpoint=CheckpointConfig(**payload["checkpoint"]),
+        speculation=SpeculationConfig(**speculation),
+        workload=WorkloadConfig(**payload["workload"]),
+        cycles_per_second=payload["cycles_per_second"],
+    )
+
+
+def spec_from_json(payload: Dict[str, Any]) -> "RunSpec":
+    """Rebuild a :class:`RunSpec` from :meth:`RunSpec.to_json` output."""
+    schema = payload.get("schema")
+    if schema != SPEC_SCHEMA:
+        raise ValueError(f"unsupported spec schema {schema!r}")
+    return RunSpec(
+        config=config_from_dict(payload["config"]),
+        label=payload.get("label"),
+        recovery_rate_per_second=payload.get("recovery_rate_per_second"),
+        max_cycles=payload.get("max_cycles"),
+    )
 
 
 @dataclass(frozen=True, eq=False)

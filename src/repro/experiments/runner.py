@@ -14,6 +14,16 @@ Flags:
   processes; the report is byte-identical to a serial run.
 * ``--batched`` — group each batch by shared precomputed artifacts and run
   it in-process with warm memos; byte-identical to a serial run.
+* ``--workers N`` — sharded execution: publish a campaign manifest to the
+  shared store (``--cache DIR``, required) and fan design points out to
+  ``N`` crash-safe worker processes that claim specs via lease files;
+  byte-identical to a serial run, resumable after any crash.
+* ``--resume`` — with ``--workers``: finish an interrupted sharded
+  campaign.  Only missing design points are simulated (completed ones are
+  cache hits); fails fast when the store has no manifest for the campaign.
+* ``--status`` — print per-campaign progress of the store at ``--cache
+  DIR`` (completed/leased/stale counts, worker throughput) and exit;
+  refreshes each campaign's crash-safe partial report as it goes.
 * ``--only NAME`` (repeatable) — run a subset of experiments.
 * ``--list`` — show registered experiments and exit.
 * ``--json PATH`` — also write a schema-stable machine-readable results file.
@@ -124,6 +134,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--batched", action="store_true",
                         help="group design points by shared precomputed "
                              "artifacts and run in-process with warm memos")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="sharded execution: N crash-safe worker "
+                             "processes claiming design points from the "
+                             "shared store (requires --cache DIR)")
+    parser.add_argument("--resume", action="store_true",
+                        help="finish an interrupted sharded campaign "
+                             "(requires --workers; only missing design "
+                             "points are simulated)")
+    parser.add_argument("--status", action="store_true",
+                        help="print campaign progress of the store at "
+                             "--cache DIR and exit")
     parser.add_argument("--only", action="append", default=None, metavar="EXPERIMENT",
                         help="run only this experiment (repeatable); see --list")
     parser.add_argument("--list", action="store_true", dest="list_experiments",
@@ -143,6 +164,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_experiments:
         print(_list_experiments())
         return 0
+
+    if args.status:
+        if not args.cache:
+            parser.error("--status needs the store: pass --cache DIR")
+        from repro.campaign.sharding import campaign_status
+
+        print(campaign_status(args.cache))
+        return 0
+
+    if args.workers:
+        if not args.cache:
+            parser.error("--workers needs a shared store: pass --cache DIR")
+        if args.parallel or args.batched:
+            parser.error("--workers is its own execution strategy; drop "
+                         "--parallel/--batched")
+    elif args.resume:
+        parser.error("--resume only applies to sharded execution; pass "
+                     "--workers N")
 
     if args.kernel_tier is not None:
         kernel.set_kernel_tier(args.kernel_tier)
@@ -169,7 +208,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error(f"unknown experiments {unknown}; available {known}")
 
     with make_executor(args.parallel, cache_dir=args.cache,
-                       batched=args.batched) as executor:
+                       batched=args.batched, workers=args.workers,
+                       resume=args.resume) as executor:
         results = run_campaign(quick=args.quick, executor=executor,
                                only=args.only)
         cache_stats = (executor.cache.stats()

@@ -9,7 +9,8 @@ system through the speculation registry (a combination is just a
 :class:`~repro.sim.config.SpeculationConfig`), so the sweep doubles as an
 integration test of the pluggable layer: arming is config-driven, disabled
 designs fall back to their fully specified counterparts, and the whole
-grid is deterministic (serial == parallel == cached, byte-identical).
+grid is deterministic (serial == parallel == cached == sharded,
+byte-identical; :func:`sharded_smoke` is the sharded leg).
 
 Per design point it reports runtime, detection/recovery totals and the
 per-kind recovery attribution, so the cost of *combining* speculations —
@@ -165,6 +166,24 @@ def run(workload: str = "jbb", *,
                 SpeculationKind.INTERCONNECT_DEADLOCK),
         }
     return result
+
+
+def sharded_smoke(store_dir: str, *, workers: int = 2,
+                  references: int = 250, seed: int = 1,
+                  quick: bool = True) -> SpeculationMatrixResult:
+    """The grid through a :class:`~repro.campaign.sharding.ShardedExecutor`.
+
+    The sharded leg of this experiment's determinism contract: byte
+    -identical to a serial :func:`run` with the same knobs, resumable
+    mid-grid from the shared store.  ``quick=False`` sweeps the full
+    96-point grid.
+    """
+    from repro.campaign.sharding import ShardedExecutor
+
+    with ShardedExecutor(workers, store_dir) as executor:
+        return run(topologies=QUICK_TOPOLOGIES if quick else TOPOLOGIES,
+                   scales=QUICK_SCALES if quick else SCALES,
+                   references=references, seed=seed, executor=executor)
 
 
 @register_experiment("speculation_matrix",

@@ -17,7 +17,8 @@ off the grid.  Every workload axis value is just a
 :class:`~repro.sim.config.WorkloadConfig` name (``params`` stays ``None``,
 the registered defaults), so the sweep doubles as an integration test of
 the registry: name resolution is config-driven and the whole grid is
-deterministic (serial == parallel == cached, byte-identical).
+deterministic (serial == parallel == cached == sharded, byte-identical;
+:func:`sharded_smoke` is the sharded leg).
 
 S3 on the bus-based snooping system carries the flag but changes nothing
 (there is no network to strip virtual channels from); those points
@@ -132,6 +133,24 @@ def run(workloads: Optional[Sequence[str]] = None, *,
                 SpeculationKind.INTERCONNECT_DEADLOCK),
         }
     return result
+
+
+def sharded_smoke(store_dir: str, *, workers: int = 2,
+                  references: int = 250, seed: int = 1,
+                  quick: bool = True) -> WorkloadMatrixResult:
+    """The grid through a :class:`~repro.campaign.sharding.ShardedExecutor`.
+
+    The sharded leg of the determinism contract for this experiment: the
+    returned report must be byte-identical to a plain serial :func:`run`
+    with the same knobs (CI gates on exactly that, and the executor is
+    resumable mid-grid — killing a worker and re-invoking finishes only the
+    missing design points).  ``quick=False`` runs the full 40-point grid.
+    """
+    from repro.campaign.sharding import ShardedExecutor
+
+    with ShardedExecutor(workers, store_dir) as executor:
+        return run(QUICK_WORKLOADS if quick else None,
+                   references=references, seed=seed, executor=executor)
 
 
 @register_experiment("workload_matrix",

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Byte-compare two runner ``--json`` reports modulo execution-side keys.
+
+The determinism contract says serial, parallel, batched, cached and sharded
+execution produce *the same report*.  The one permitted difference is the
+top-level ``cache`` block: it summarises this process's hit/miss/store
+traffic (and is only present at all when the run used ``--cache``), so it
+legitimately differs between a cold serial run and a sharded run over a
+shared store.  This tool strips exactly that block from both documents,
+canonicalises them (sorted keys, tight separators — the same encoding the
+spec layer hashes), and compares the resulting bytes.
+
+Exit status 0 means identical; 1 means divergent, with the differing
+top-level experiments named so a CI log points straight at the culprit.
+
+Usage::
+
+    PYTHONPATH=src python tools/compare_reports.py serial.json sharded.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+#: Top-level report keys describing *how* the campaign ran rather than what
+#: it computed; everything else must match byte for byte.
+EXECUTION_KEYS = ("cache",)
+
+
+def normalize(document: Dict[str, Any]) -> str:
+    """The canonical byte form of a report, execution-side keys removed."""
+    trimmed = {key: value for key, value in document.items()
+               if key not in EXECUTION_KEYS}
+    return json.dumps(trimmed, sort_keys=True, separators=(",", ":"))
+
+
+def _load(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: top level must be an object, "
+                         f"got {type(document).__name__}")
+    return document
+
+
+def divergences(reference: Dict[str, Any],
+                candidate: Dict[str, Any]) -> List[str]:
+    """Human-readable description of where two trimmed reports differ."""
+    problems: List[str] = []
+    ref_experiments = reference.get("experiments")
+    cand_experiments = candidate.get("experiments")
+    if isinstance(ref_experiments, dict) and isinstance(cand_experiments, dict):
+        only_ref = sorted(set(ref_experiments) - set(cand_experiments))
+        only_cand = sorted(set(cand_experiments) - set(ref_experiments))
+        if only_ref:
+            problems.append(f"experiments only in reference: {only_ref}")
+        if only_cand:
+            problems.append(f"experiments only in candidate: {only_cand}")
+        for name in sorted(set(ref_experiments) & set(cand_experiments)):
+            a = json.dumps(ref_experiments[name], sort_keys=True)
+            b = json.dumps(cand_experiments[name], sort_keys=True)
+            if a != b:
+                problems.append(f"experiment {name!r} differs")
+    for key in sorted(set(reference) | set(candidate)):
+        if key in EXECUTION_KEYS or key == "experiments":
+            continue
+        if reference.get(key) != candidate.get(key):
+            problems.append(
+                f"top-level {key!r} differs: {reference.get(key)!r} "
+                f"vs {candidate.get(key)!r}")
+    return problems or ["documents differ (no per-experiment attribution)"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("reference", help="the report to compare against "
+                                          "(e.g. the serial run)")
+    parser.add_argument("candidate", help="the report under test "
+                                          "(e.g. the sharded run)")
+    args = parser.parse_args(argv)
+    reference = _load(args.reference)
+    candidate = _load(args.candidate)
+    ref_bytes = normalize(reference)
+    cand_bytes = normalize(candidate)
+    if ref_bytes == cand_bytes:
+        print(f"identical: {args.reference} == {args.candidate} "
+              f"({len(ref_bytes)} canonical bytes, "
+              f"{'/'.join(EXECUTION_KEYS)} excluded)")
+        return 0
+    print(f"DIVERGENT: {args.reference} != {args.candidate}",
+          file=sys.stderr)
+    for problem in divergences(reference, candidate):
+        print(f"  {problem}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

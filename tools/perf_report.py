@@ -47,7 +47,7 @@ SCHEMA_V1 = "repro.bench_kernel/v1"
 #: Benchmark-result keys that carry throughput (higher is better) and cost
 #: (lower is better), used for speedup derivation and delta printing.
 RATE_KEYS = ("events_per_sec", "references_per_sec", "records_per_sec",
-             "decisions_per_sec", "batched_speedup")
+             "decisions_per_sec", "batched_speedup", "sharded_speedup")
 COST_KEYS = ("wall_seconds",)
 
 
