@@ -42,6 +42,22 @@ def _rate(count: int, seconds: float) -> float:
     return count / seconds if seconds > 0 else float("inf")
 
 
+def _available_cpus() -> int:
+    """CPUs actually usable by this process (affinity-aware on Linux).
+
+    Recorded alongside the campaign benchmarks because their speedup
+    ceiling is ``min(workers, cpus)`` — a sub-1.0 parallel speedup on a
+    single-CPU machine is the expected outcome, not a regression, and
+    ``tools/perf_report.py`` gates its regression surface on this field.
+    """
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
 # --------------------------------------------------------------------- micro
 def bench_event_queue(num_events: int = 200_000) -> Dict[str, Any]:
     """Dispatch throughput: a fan of self-rescheduling callbacks."""
@@ -337,6 +353,7 @@ def bench_campaign_batched(references: int = 250) -> Dict[str, Any]:
     stats = memo_stats()
     return {
         "specs": len(specs),
+        "cpus": _available_cpus(),
         "references": references,
         "per_spec_seconds": round(per_spec_seconds, 3),
         "wall_seconds": round(batched_seconds, 3),
@@ -371,7 +388,6 @@ def bench_campaign_sharded(references: int = 80, workers: int = 4,
     store-polling overhead with zero extra parallelism) — which is why the
     CPU count rides along in the result.
     """
-    import os
     import shutil
     import tempfile
 
@@ -411,14 +427,10 @@ def bench_campaign_sharded(references: int = 80, workers: int = 4,
     finally:
         shutil.rmtree(store, ignore_errors=True)
 
-    try:
-        cpus = len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux fallback
-        cpus = os.cpu_count() or 1
     return {
         "specs": len(sweep),
         "workers": workers,
-        "cpus": cpus,
+        "cpus": _available_cpus(),
         "references": references,
         "serial_seconds": round(serial_seconds, 3),
         "wall_seconds": round(sharded_seconds, 3),
@@ -456,15 +468,38 @@ BENCHMARKS: Dict[str, Any] = {
 }
 
 
+#: Functions kept in a cProfile top-N table (everything below the cut is
+#: scaffolding noise, everything above it is an optimization candidate).
+PROFILE_TOP_N = 25
+
+
+def profile_table(profiler: Any, top_n: int = PROFILE_TOP_N) -> str:
+    """The top-``top_n`` cumulative-time rows of a finished cProfile run."""
+    import io
+    import pstats
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top_n)
+    return buffer.getvalue()
+
+
 def run_all(quick: bool = False,
             only: Optional[List[str]] = None,
-            tier: Optional[str] = None) -> Dict[str, Any]:
+            tier: Optional[str] = None,
+            profiles: Optional[Dict[str, str]] = None) -> Dict[str, Any]:
     """Run every benchmark (or a subset) and return the results by name.
 
     ``tier`` selects the kernel tier (``pure`` / ``compiled`` / ``auto``)
     for the duration of the run; ``None`` keeps the process selection.  The
     choice is mirrored into ``REPRO_KERNEL`` so benchmarks that spawn
     subprocesses (``campaign_batched``) run both legs on the same tier.
+
+    When ``profiles`` is a dict, every benchmark runs under :mod:`cProfile`
+    and its top-N cumulative table lands in it keyed by benchmark name (the
+    ``--profile`` mode of ``tools/perf_report.py``).  Profiled wall-clock
+    carries tracing overhead, so profiled numbers are for *attribution*,
+    never for the committed trajectory.
     """
     import os
 
@@ -480,7 +515,18 @@ def run_all(quick: bool = False,
             if only is not None and name not in only:
                 continue
             kwargs = quick_kwargs if quick else full_kwargs
-            results[name] = fn(**kwargs)
+            if profiles is None:
+                results[name] = fn(**kwargs)
+            else:
+                import cProfile
+
+                profiler = cProfile.Profile()
+                profiler.enable()
+                try:
+                    results[name] = fn(**kwargs)
+                finally:
+                    profiler.disable()
+                profiles[name] = profile_table(profiler)
         return results
     finally:
         if tier is not None:

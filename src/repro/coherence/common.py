@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Callable, Optional
 
@@ -18,18 +17,27 @@ class MemoryOp(str, Enum):
     STORE = "store"
 
 
-@dataclass
 class MemoryRequest:
-    """One memory reference issued by a processor."""
+    """One memory reference issued by a processor.
 
-    node: int
-    op: MemoryOp
-    address: BlockAddress
-    issued_at: int = -1
-    completed_at: int = -1
-    #: Value observed by a load / written by a store (data tracking for
-    #: correctness checks; the timing model does not depend on it).
-    value: Optional[int] = None
+    Slotted and hand-rolled (not a dataclass): one is allocated per L2 miss,
+    which at protocol rates makes the dataclass ``__init__`` indirection and
+    the per-instance ``__dict__`` measurable.
+    """
+
+    __slots__ = ("node", "op", "address", "issued_at", "completed_at", "value")
+
+    def __init__(self, node: int, op: MemoryOp, address: BlockAddress,
+                 issued_at: int = -1, completed_at: int = -1,
+                 value: Optional[int] = None) -> None:
+        self.node = node
+        self.op = op
+        self.address = address
+        self.issued_at = issued_at
+        self.completed_at = completed_at
+        #: Value observed by a load / written by a store (data tracking for
+        #: correctness checks; the timing model does not depend on it).
+        self.value = value
 
     @property
     def latency(self) -> int:
@@ -37,28 +45,52 @@ class MemoryRequest:
             raise ValueError("request not complete")
         return self.completed_at - self.issued_at
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MemoryRequest(node={self.node}, op={self.op!r}, "
+                f"address={self.address:#x}, value={self.value!r})")
+
 
 _TRANSACTION_IDS = itertools.count()
 
 
-@dataclass
 class Transaction:
-    """One outstanding coherence transaction at a cache controller."""
+    """One outstanding coherence transaction at a cache controller.
 
-    node: int
-    address: BlockAddress
-    op: MemoryOp
-    started_at: int
-    txn_id: int = field(default_factory=lambda: next(_TRANSACTION_IDS))
-    #: Invalidation acknowledgements still outstanding (directory protocol).
-    acks_needed: int = 0
-    acks_received: int = 0
-    data_received: bool = False
-    #: Called exactly once when the transaction completes.
-    on_complete: Optional[Callable[["Transaction"], None]] = None
-    #: Timeout event handle (cancelled on completion).
-    timeout_event: Any = None
-    completed: bool = False
+    Slotted and hand-rolled for the same reason as :class:`MemoryRequest`:
+    one per coherence transaction, and the dataclass ``default_factory``
+    machinery for ``txn_id`` alone is a measurable fraction of issue cost.
+    """
+
+    __slots__ = ("node", "address", "op", "started_at", "txn_id",
+                 "acks_needed", "acks_received", "data_received",
+                 "on_complete", "timeout_event", "completed",
+                 "bus_ordered", "invalidate_on_install", "value_hint")
+
+    def __init__(self, node: int, address: BlockAddress, op: MemoryOp,
+                 started_at: int, txn_id: Optional[int] = None,
+                 acks_needed: int = 0, acks_received: int = 0,
+                 data_received: bool = False,
+                 on_complete: Optional[Callable[["Transaction"], None]] = None,
+                 timeout_event: Any = None, completed: bool = False) -> None:
+        self.node = node
+        self.address = address
+        self.op = op
+        self.started_at = started_at
+        self.txn_id = next(_TRANSACTION_IDS) if txn_id is None else txn_id
+        #: Invalidation acknowledgements still outstanding (directory protocol).
+        self.acks_needed = acks_needed
+        self.acks_received = acks_received
+        self.data_received = data_received
+        #: Called exactly once when the transaction completes.
+        self.on_complete = on_complete
+        #: Timeout event handle (cancelled on completion).
+        self.timeout_event = timeout_event
+        self.completed = completed
+        # Snooping-controller annotations (read back via getattr with a
+        # default, so the defaults here must stay the getattr fallbacks).
+        self.bus_ordered = False
+        self.invalidate_on_install = False
+        self.value_hint = None
 
     @property
     def satisfied(self) -> bool:

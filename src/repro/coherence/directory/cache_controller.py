@@ -94,6 +94,13 @@ class DirectoryCacheController(Component):
         self.generation = 0
         #: Lazily bound miss-latency histogram (bound once per controller).
         self._miss_latency_hist = None
+        #: Completion context of the outstanding transaction.  The blocking
+        #: processor guarantees at most one, so the (request, on_complete)
+        #: pair lives on the controller instead of a per-transaction closure
+        #: (one closure per miss is measurable at protocol rates, and the
+        #: compiled transaction core completes through the same attributes).
+        self._pending_request: Optional[MemoryRequest] = None
+        self._pending_on_complete: Optional[Callable[[MemoryRequest], None]] = None
         #: Message dispatch table, built once (a fresh dict per message is
         #: measurable at protocol rates).
         self._handlers: Dict[MessageClass, Callable[[BlockAddress, CoherencePayload], None]] = {
@@ -116,26 +123,30 @@ class DirectoryCacheController(Component):
         ever has one reference outstanding.
         """
         address = request.address
-        request.issued_at = self.sim.now
-        line = self.cache.lookup(address)
+        request.issued_at = self.sim._now
+        cache = self.cache
+        line = cache.lookup(address)
         state = line.state if line is not None else CacheState.INVALID
 
-        if request.op == MemoryOp.LOAD and state.has_valid_data:
-            self.cache.record_hit()
+        # Identity tests on the enum members (hot path: once per L1 miss;
+        # str-enum `==` and the state properties route through str compare).
+        is_load = request.op is MemoryOp.LOAD
+        if is_load and state is not CacheState.INVALID:
+            cache.hits += 1
             self.count("load_hits")
             request.value = line.value
             self._finish(request, on_complete, self.config.processor.l2_hit_cycles)
             return
-        if request.op == MemoryOp.STORE and state.can_write:
-            self.cache.record_hit()
+        if not is_load and state is CacheState.MODIFIED:
+            cache.hits += 1
             self.count("store_hits")
-            self.cache.set_value(address, request.value)
+            cache.set_value(address, request.value)
             self._finish(request, on_complete, self.config.processor.l2_hit_cycles)
             return
 
         # Miss (or upgrade): issue a coherence transaction.
-        self.cache.record_miss()
-        self.count("load_misses" if request.op == MemoryOp.LOAD else "store_misses")
+        cache.misses += 1
+        self.count("load_misses" if is_load else "store_misses")
         self._issue_transaction(request, on_complete)
 
     def _finish(self, request: MemoryRequest,
@@ -152,16 +163,14 @@ class DirectoryCacheController(Component):
             raise RuntimeError(
                 f"{self.name}: blocking processor issued a second reference")
         if not self.may_issue(self.node_id):
-            # Slow-start gating: retry shortly (void if a recovery intervenes,
-            # because the rolled-back processor will re-issue the reference).
-            generation = self.generation
-            self.schedule(50, lambda: (self._issue_transaction(request, on_complete)
-                                       if generation == self.generation else None))
+            self._retry_issue(request, on_complete)
             return
 
         txn = Transaction(node=self.node_id, address=request.address,
-                          op=request.op, started_at=self.sim.now)
-        txn.on_complete = lambda t: self._transaction_done(t, request, on_complete)
+                          op=request.op, started_at=self.sim._now)
+        self._pending_request = request
+        self._pending_on_complete = on_complete
+        txn.on_complete = self._complete_current
         self.transaction = txn
 
         if self.timeout_cycles is not None:
@@ -169,11 +178,24 @@ class DirectoryCacheController(Component):
                 self.timeout_cycles, lambda: self._transaction_timeout(txn),
                 label=f"{self.name}.timeout")
 
-        msg_class = (MessageClass.REQUEST_READ_ONLY if request.op == MemoryOp.LOAD
+        msg_class = (MessageClass.REQUEST_READ_ONLY if request.op is MemoryOp.LOAD
                      else MessageClass.REQUEST_READ_WRITE)
         self.send(self.home(request.address), msg_class, request.address,
                   CoherencePayload(requestor=self.node_id, txn_id=txn.txn_id))
         self.count("transactions_issued")
+
+    def _retry_issue(self, request: MemoryRequest,
+                     on_complete: Callable[[MemoryRequest], None]) -> None:
+        # Slow-start gating: retry shortly (void if a recovery intervenes,
+        # because the rolled-back processor will re-issue the reference).
+        generation = self.generation
+        self.schedule(50, lambda: (self._issue_transaction(request, on_complete)
+                                   if generation == self.generation else None))
+
+    def _complete_current(self, txn: Transaction) -> None:
+        """``on_complete`` of the controller's single outstanding transaction."""
+        self._transaction_done(txn, self._pending_request,
+                               self._pending_on_complete)
 
     def _transaction_done(self, txn: Transaction, request: MemoryRequest,
                           on_complete: Callable[[MemoryRequest], None]) -> None:
@@ -188,7 +210,7 @@ class DirectoryCacheController(Component):
             hist = self._miss_latency_hist = self.stats.histogram(
                 "l2.miss_latency", bucket_width=64)
         hist.record(self.sim._now - txn.started_at)
-        if request.op == MemoryOp.STORE:
+        if request.op is MemoryOp.STORE:
             # Apply the store's value now that the block is writable here.
             if self.cache.contains(txn.address) and request.value is not None:
                 self.cache.set_value(txn.address, request.value)
@@ -233,9 +255,10 @@ class DirectoryCacheController(Component):
     # -------------------------------------------------------- forwarded requests
     def _handle_fwd_gets(self, address: BlockAddress, payload: CoherencePayload) -> None:
         line = self.cache.peek(address)
-        if line is not None and line.state.is_owner:
+        if line is not None and (line.state is CacheState.MODIFIED
+                                 or line.state is CacheState.OWNED):
             # Stay owner, downgrade M -> O, supply data to the requestor.
-            if line.state == CacheState.MODIFIED:
+            if line.state is CacheState.MODIFIED:
                 self.cache.set_state(address, CacheState.OWNED)
             self._send_data_to(payload.requestor, address, line.value,
                                acks=payload.acks_expected)
@@ -254,7 +277,8 @@ class DirectoryCacheController(Component):
 
     def _handle_fwd_getx(self, address: BlockAddress, payload: CoherencePayload) -> None:
         line = self.cache.peek(address)
-        if line is not None and line.state.is_owner:
+        if line is not None and (line.state is CacheState.MODIFIED
+                                 or line.state is CacheState.OWNED):
             self._send_data_to(payload.requestor, address, line.value,
                                acks=payload.acks_expected)
             self.cache.set_state(address, CacheState.INVALID)
@@ -361,7 +385,7 @@ class DirectoryCacheController(Component):
 
     # ----------------------------------------------------------- line handling
     def _install_line(self, txn: Transaction, value: Optional[int]) -> None:
-        target_state = (CacheState.SHARED if txn.op == MemoryOp.LOAD
+        target_state = (CacheState.SHARED if txn.op is MemoryOp.LOAD
                         else CacheState.MODIFIED)
         existing = self.cache.peek(txn.address)
         if existing is not None:
@@ -393,7 +417,7 @@ class DirectoryCacheController(Component):
     def _evict(self, victim: CacheLine) -> None:
         """Evict a line chosen by LRU, issuing a Writeback if it is dirty."""
         state: CacheState = victim.state
-        if state.is_owner:
+        if state is CacheState.MODIFIED or state is CacheState.OWNED:
             record = WritebackRecord(address=victim.address,
                                      value=victim.value if victim.value is not None else 0,
                                      issued_at=self.sim.now)

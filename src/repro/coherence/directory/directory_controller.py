@@ -87,6 +87,8 @@ class DirectoryController(Component):
         self.node_id = node_id
         self.config = config
         self.variant = config.variant
+        #: Hoisted str-enum comparison (checked per writeback race).
+        self._full_variant = config.variant == ProtocolVariant.FULL
         self.send = send
         self.entries: Dict[BlockAddress, DirectoryEntry] = {}
         self._observer: Optional[EntryObserver] = None
@@ -116,9 +118,10 @@ class DirectoryController(Component):
 
     # ----------------------------------------------------------------- entries
     def entry(self, address: BlockAddress) -> DirectoryEntry:
-        if address not in self.entries:
-            self.entries[address] = DirectoryEntry(address=address)
-        return self.entries[address]
+        entry = self.entries.get(address)
+        if entry is None:
+            entry = self.entries[address] = DirectoryEntry(address=address)
+        return entry
 
     def _set_state(self, entry: DirectoryEntry, state: DirectoryState) -> None:
         self._notify(entry.address, "state", entry.state, state)
@@ -129,7 +132,12 @@ class DirectoryController(Component):
         entry.owner = owner
 
     def _set_sharers(self, entry: DirectoryEntry, sharers: Set[int]) -> None:
-        self._notify(entry.address, "sharers", frozenset(entry.sharers), frozenset(sharers))
+        # Only materialise the frozenset snapshots when the observer will
+        # actually see them (same old != new gate as _notify); this runs on
+        # every gets/getx and the two allocations dominate its cost.
+        if self._observer is not None and entry.sharers != sharers:
+            self._observer(entry.address, "sharers",
+                           frozenset(entry.sharers), frozenset(sharers))
         entry.sharers = set(sharers)
 
     def _set_value(self, entry: DirectoryEntry, value: int) -> None:
@@ -142,13 +150,14 @@ class DirectoryController(Component):
         payload: CoherencePayload = message.payload
         address = message.address
         assert address is not None
-        if message.msg_class == MessageClass.REQUEST_READ_ONLY:
+        msg_class = message.msg_class
+        if msg_class is MessageClass.REQUEST_READ_ONLY:
             self._handle_request(address, message.src, MessageClass.REQUEST_READ_ONLY, payload)
-        elif message.msg_class == MessageClass.REQUEST_READ_WRITE:
+        elif msg_class is MessageClass.REQUEST_READ_WRITE:
             self._handle_request(address, message.src, MessageClass.REQUEST_READ_WRITE, payload)
-        elif message.msg_class == MessageClass.WRITEBACK:
+        elif msg_class is MessageClass.WRITEBACK:
             self._handle_writeback(address, message.src, payload)
-        elif message.msg_class == MessageClass.FINAL_ACK:
+        elif msg_class is MessageClass.FINAL_ACK:
             self._handle_final_ack(address, message.src)
         else:
             raise ValueError(f"{self.name}: unexpected message {message.msg_class}")
@@ -157,12 +166,12 @@ class DirectoryController(Component):
     def _handle_request(self, address: BlockAddress, requestor: int,
                         kind: MessageClass, payload: CoherencePayload) -> None:
         entry = self.entry(address)
-        if entry.is_busy:
+        if entry.busy is not None:
             entry.pending.append((requestor, kind, payload))
             self.count("stalled_requests")
             return
         self.requests_handled += 1
-        if kind == MessageClass.REQUEST_READ_ONLY:
+        if kind is MessageClass.REQUEST_READ_ONLY:
             self._do_gets(entry, requestor, payload)
         else:
             self._do_getx(entry, requestor, payload)
@@ -171,7 +180,8 @@ class DirectoryController(Component):
                  payload: CoherencePayload) -> None:
         """RequestReadOnly."""
         self.count("gets")
-        if entry.state in (DirectoryState.UNCACHED, DirectoryState.SHARED):
+        state = entry.state
+        if state is DirectoryState.UNCACHED or state is DirectoryState.SHARED:
             # Data comes from memory; no forwarding, no busy period needed
             # beyond the response (the requestor's FinalAck unblocks).
             entry.busy = _BusyTransaction(requestor=requestor, op=MemoryOp.LOAD)
@@ -203,7 +213,7 @@ class DirectoryController(Component):
         entry.busy = _BusyTransaction(requestor=requestor, op=MemoryOp.STORE,
                                       acks_expected=acks)
 
-        if entry.state == DirectoryState.UNCACHED:
+        if entry.state is DirectoryState.UNCACHED:
             self._set_owner(entry, requestor)
             self._set_sharers(entry, set())
             self._set_state(entry, DirectoryState.OWNED)
@@ -211,7 +221,7 @@ class DirectoryController(Component):
                             delay=self.config.memory_latency_cycles)
             return
 
-        if entry.state == DirectoryState.SHARED:
+        if entry.state is DirectoryState.SHARED:
             for node in invalidatees:
                 self.send(node, MessageClass.INVALIDATION, entry.address,
                           CoherencePayload(requestor=requestor, txn_id=payload.txn_id))
@@ -267,7 +277,7 @@ class DirectoryController(Component):
         if payload.value is not None:
             self._set_value(entry, payload.value)
 
-        if not entry.is_busy:
+        if entry.busy is None:
             if entry.owner == writer:
                 self._set_owner(entry, None)
                 new_state = (DirectoryState.SHARED if entry.sharers
@@ -286,13 +296,13 @@ class DirectoryController(Component):
         self.count("writeback_races")
         busy = entry.busy
         assert busy is not None
-        if busy.op == MemoryOp.LOAD and entry.owner == writer:
+        if busy.op is MemoryOp.LOAD and entry.owner == writer:
             # The forwarded read is in flight to the writer; after the
             # writeback the block's only up-to-date copy is memory.
             self._set_owner(entry, None)
             self._set_state(entry, DirectoryState.SHARED if entry.sharers
                             else DirectoryState.UNCACHED)
-        if self.variant == ProtocolVariant.FULL:
+        if self._full_variant:
             # Full protocol: make correctness independent of message order by
             # also sending the written-back data straight to the requestor.
             self.count("race_data_from_directory")

@@ -95,11 +95,17 @@ def report_text(results: Dict[str, object]) -> str:
 
 
 def report_json(results: Dict[str, object], *, quick: bool = False,
-                cache_stats: Optional[Dict[str, int]] = None) -> Dict[str, object]:
+                cache_stats: Optional[Dict[str, int]] = None,
+                kernel_meta: Optional[Dict[str, str]] = None) -> Dict[str, object]:
     """The machine-readable campaign report (stable schema).
 
     ``cache_stats`` is only present when the campaign ran with ``--cache``;
     cache-less reports keep their exact historical byte form.
+    ``kernel_meta`` records which kernel tier executed the campaign (and the
+    compiler that built the extension, on the compiled tier).  Both are
+    *execution-side* blocks: they describe how the campaign ran, not what it
+    computed, so ``tools/compare_reports.py`` strips them before byte
+    comparison and report identity is unchanged across tiers.
     """
     report: Dict[str, object] = {
         "schema": REPORT_SCHEMA,
@@ -108,6 +114,8 @@ def report_json(results: Dict[str, object], *, quick: bool = False,
     }
     if cache_stats is not None:
         report["cache"] = dict(cache_stats)
+    if kernel_meta is not None:
+        report["kernel"] = dict(kernel_meta)
     return report
 
 
@@ -224,8 +232,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")
     if args.json:
+        kernel_meta = {"tier": kernel.active_tier()}
+        compiler = kernel.compiler_tag()
+        if kernel_meta["tier"] == "compiled" and compiler is not None:
+            kernel_meta["compiler"] = compiler
         write_json_report(args.json, report_json(results, quick=args.quick,
-                                                 cache_stats=cache_stats))
+                                                 cache_stats=cache_stats,
+                                                 kernel_meta=kernel_meta))
     return 0
 
 

@@ -21,6 +21,7 @@ no-virtual-channel network of Section 4 can deadlock.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.interconnect.buffers import FiniteBuffer
@@ -189,11 +190,15 @@ class Switch(Component):
             # The downstream channel-selection constants are baked into the
             # out-tuple so the scan inlines reserve_for() (shared flag, VN/VC
             # geometry, buffer grid and ChannelId grid are all fixed).
+            # The trailing bound receive method lets the scan build the
+            # arrival callback with functools.partial (C-level construction)
+            # instead of a per-forward lambda; compiled SwitchCore.bind()
+            # reads slots 0-8 by index and ignores the extra element.
             self._out[direction] = (
                 self.output_links[direction], downstream, downstream_port,
                 channels.shared, channels.virtual_networks, channels._vc_count,
                 channels._grid, channels._cids,
-                self._fwd_labels[direction])
+                self._fwd_labels[direction], downstream.receive_from_link)
         for port in self.input_channels:
             if port != Direction.LOCAL:
                 self._credit_wake[port] = self.network.switch(self.neighbors[port])
@@ -367,7 +372,7 @@ class Switch(Component):
                                   delay=self.EJECTION_LATENCY)
                 else:
                     (link, downstream, downstream_port, d_shared, d_vns,
-                     d_vcc, d_grid, d_cids, fwd_label) = out
+                     d_vcc, d_grid, d_cids, fwd_label, d_recv) = out
                     # Inline of downstream reserve_for(): pick the channel,
                     # check space (must happen before the link-busy check —
                     # the blocked_on_buffer counter depends on this order),
@@ -418,9 +423,8 @@ class Switch(Component):
                     counter.value += 1
                     sim.queue.push(
                         arrival,
-                        lambda m=message, d=downstream, p=downstream_port,
-                               c=downstream_cid, e=self.network.flush_epoch:
-                            d.receive_from_link(m, p, c, e),
+                        partial(d_recv, message, downstream_port,
+                                downstream_cid, self.network.flush_epoch),
                         0, fwd_label)
             # A head moved: release the credit for its input port.
             progressed = True

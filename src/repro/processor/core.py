@@ -128,11 +128,7 @@ class BlockingProcessor(Component, CheckpointParticipant):
             self._schedule_issue(self.stalled_until - now)
             return
         if self.stream_index >= len(self.references):
-            if self.finished_at is None:
-                self.finished_at = now
-                self.count("finished")
-                if self._on_finished is not None:
-                    self._on_finished(self.node_id)
+            self._finish_stream(now)
             return
 
         op, address = self.references[self.stream_index]
@@ -140,26 +136,47 @@ class BlockingProcessor(Component, CheckpointParticipant):
         self.retired_instructions += self._instructions_per_ref
 
         value = None
-        if op == MemoryOp.STORE:
+        is_store = op is MemoryOp.STORE
+        if is_store:
             self.store_counter += 1
             value = self.node_id * 1_000_000_000 + self.store_counter
 
+        l1 = self.l1
         l2_state = self.l2_state_of(address)
-        if self.l1 is not None and self.l1.hit(address, op, l2_state):
-            self.l1.tags.record_hit()
+        if l1 is not None and l1.hit(address, op, l2_state):
+            l1.tags.hits += 1
             self.count("l1_hits")
             self.references_completed += 1
-            if op == MemoryOp.STORE:
+            if is_store:
                 # Write-through of the value to the coherent L2 copy (timing
                 # stays at the L1 hit latency; see repro.processor.l1).
                 self._write_through(address, value)
             self._schedule_issue(self.pconfig.l1_hit_cycles + self._compute_gap_cycles())
             return
 
-        if self.l1 is not None:
-            self.l1.tags.record_miss()
+        self._issue_miss(op, address, value)
+
+    def _finish_stream(self, now: int) -> None:
+        """The stream is exhausted: record completion exactly once.
+
+        Split out of :meth:`_issue_next` so the compiled processor core
+        (``repro._ckernel.ProcessorCore``) can delegate this cold path to
+        the one implementation of its semantics.
+        """
+        if self.finished_at is None:
+            self.finished_at = now
+            self.count("finished")
+            if self._on_finished is not None:
+                self._on_finished(self.node_id)
+
+    def _issue_miss(self, op: MemoryOp, address: int,
+                    value: Optional[int]) -> None:
+        """L1 miss: block on an L2/coherence access (shared cold path)."""
+        l1 = self.l1
+        if l1 is not None:
+            l1.tags.misses += 1
         self.count("l1_misses")
-        request = MemoryRequest(node=self.node_id, op=op, address=address, value=value)
+        request = MemoryRequest(self.node_id, op, address, value=value)
         self._waiting_for_memory = True
         assert self.l2_access is not None, "processor not wired to an L2 controller"
         self.l2_access(request, self._memory_complete)

@@ -17,6 +17,7 @@ from typing import Optional
 from repro.coherence.cache import CacheArray
 from repro.coherence.common import BlockAddress, MemoryOp
 from repro.coherence.directory.states import CacheState
+from repro.coherence.snooping.states import SnoopState
 from repro.sim.config import CacheConfig
 
 
@@ -40,11 +41,20 @@ class L1FilterCache:
         Loads need the L1 tag present and any valid L2 state; stores need
         write permission (Modified) at the L2 as well.
         """
-        if not self.tags.contains(address):
+        tags = self.tags
+        if address not in tags._sets[(address // tags._block_bytes) % tags._num_sets]:
             return False
-        if op == MemoryOp.LOAD:
-            return l2_state.has_valid_data
-        return l2_state.can_write
+        # Identity tests against the enum members of both protocols: this is
+        # the per-reference hot path, and the str-enum `has_valid_data` /
+        # `can_write` properties cost a property descriptor plus string
+        # comparison per call.  `l2_state` is a CacheState (directory) or a
+        # SnoopState (snooping); enum members are singletons.
+        if op is MemoryOp.LOAD:
+            return (l2_state is not CacheState.INVALID
+                    and l2_state is not SnoopState.INVALID)
+        return (l2_state is CacheState.MODIFIED
+                or l2_state is SnoopState.MODIFIED
+                or l2_state is SnoopState.EXCLUSIVE)
 
     def fill(self, address: BlockAddress) -> None:
         """Install the tag after an L2 access completes."""

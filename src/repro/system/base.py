@@ -67,6 +67,10 @@ class System(ABC):
         self._finished_processors = 0
         self._build_nodes()
         self.speculation.arm(self)
+        # Rebind protocol hot paths onto compiled cores (no-op on the pure
+        # tier).  Wiring is final and no event has run yet, so the cores
+        # capture the same state the pure methods would read.
+        self._install_compiled_fast_paths()
 
     # ------------------------------------------------------------------- hooks
     @staticmethod
@@ -85,6 +89,15 @@ class System(ABC):
     @abstractmethod
     def _build_nodes(self) -> None:
         """Construct and wire the per-node components."""
+
+    def _install_compiled_fast_paths(self) -> None:
+        """Rebind protocol hot paths onto ``repro._ckernel`` cores.
+
+        Called once at the end of construction.  Subclasses override this
+        to install their protocol's compiled cores; the base implementation
+        is a no-op so the pure tier (and any system without a compiled
+        counterpart) runs the pure methods unchanged.
+        """
 
     @abstractmethod
     def _default_max_cycles(self) -> int:

@@ -29,16 +29,18 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-from repro.coherence.cache import CacheArray
-from repro.coherence.common import home_node
+from repro import kernel
+from repro.coherence.cache import CacheArray, CacheLine
+from repro.coherence.common import MemoryOp, Transaction, home_node
 from repro.coherence.directory.cache_controller import DirectoryCacheController
+from repro.coherence.directory.messages import CoherencePayload
 from repro.coherence.directory.directory_controller import DirectoryController
 from repro.coherence.directory.states import CacheState, DirectoryState
-from repro.interconnect.message import (DATA_CLASSES, MessageClass,
-                                         NetworkMessage, VirtualNetwork)
+from repro.interconnect.message import (MessageClass, NetworkMessage,
+                                         VirtualNetwork)
 from repro.interconnect.network import InterconnectNetwork
 from repro.processor.core import BlockingProcessor
-from repro.processor.l1 import L1FilterCache
+from repro.processor.l1 import L1FilterCache, L1State
 from repro.safetynet.manager import SafetyNet
 from repro.sim.config import ProtocolKind, SystemConfig
 from repro.system.base import System
@@ -87,8 +89,12 @@ class DirectorySystem(System):
         ctrl_bytes = icfg.control_message_bytes
         network_send = self.network.send
 
+        data = MessageClass.DATA
+        writeback = MessageClass.WRITEBACK
+
         def send(dst: int, msg_class: MessageClass, address: int, payload) -> None:
-            size = data_bytes if msg_class in DATA_CLASSES else ctrl_bytes
+            size = (data_bytes if (msg_class is data or msg_class is writeback)
+                    else ctrl_bytes)
             network_send(NetworkMessage(src, dst, msg_class, size,
                                         payload, address))
         return send
@@ -140,13 +146,74 @@ class DirectorySystem(System):
     @staticmethod
     def _make_receiver(cache_ctrl: DirectoryCacheController,
                        directory: DirectoryController) -> Callable:
+        # One call per delivered message: bind the handlers and dispatch on
+        # the precomputed ``vnet`` slot by member identity.
+        dir_handle = directory.handle_message
+        cache_handle = cache_ctrl.handle_message
+        request = VirtualNetwork.REQUEST
+        final_ack = VirtualNetwork.FINAL_ACK
+
         def receive(message) -> None:
-            vnet = message.virtual_network
-            if vnet in (VirtualNetwork.REQUEST, VirtualNetwork.FINAL_ACK):
-                directory.handle_message(message)
+            vnet = message.vnet
+            if vnet is request or vnet is final_ack:
+                dir_handle(message)
             else:
-                cache_ctrl.handle_message(message)
+                cache_handle(message)
         return receive
+
+    def _install_compiled_fast_paths(self) -> None:
+        # Rebind the protocol message path onto the compiled cores: the
+        # processor issue loop, the send closure and the receive dispatch.
+        # Each core is a byte-identical port of the pure code above, which
+        # remains the single source of truth (and handles every cold path).
+        impl = kernel.engine_impl()
+        if (impl is None or not hasattr(impl, "ProcessorCore")
+                or not hasattr(impl, "TransactionCore")):
+            return
+        if not isinstance(self.sim, impl.Simulator):
+            return
+        network = self.network
+        cfg = self.config
+        icfg = cfg.interconnect
+        for node in self.nodes:
+            processor = node.processor
+            proc_core = None
+            if processor.l1 is not None:
+                proc_core = impl.ProcessorCore(
+                    processor, node.l2_array, MemoryOp.STORE,
+                    CacheState.INVALID, (CacheState.MODIFIED,))
+                processor._issue_next = proc_core
+            send = impl.MessageSendCore(
+                network, node.node_id, NetworkMessage, MessageClass.DATA,
+                MessageClass.WRITEBACK, icfg.data_message_bytes,
+                icfg.control_message_bytes)
+            node.cache_controller.send = send
+            node.directory.send = send
+            # Transaction path: the controller's access() plus the DATA/ACK
+            # handlers (built after the send rebind so the core captures the
+            # compiled send).  The handler-dict entries give C-to-C dispatch
+            # from the receive core; every other message class stays pure.
+            txn_core = impl.TransactionCore(
+                node.cache_controller, cfg.num_processors, cfg.block_bytes,
+                MemoryOp.LOAD, MemoryOp.STORE, CacheState.INVALID,
+                CacheState.SHARED, CacheState.MODIFIED,
+                MessageClass.REQUEST_READ_ONLY,
+                MessageClass.REQUEST_READ_WRITE, MessageClass.FINAL_ACK,
+                CoherencePayload, Transaction, CacheLine)
+            node.cache_controller._txn_core = txn_core
+            node.cache_controller._handlers[MessageClass.DATA] = \
+                txn_core.handle_data
+            node.cache_controller._handlers[MessageClass.ACK] = \
+                txn_core.handle_ack
+            processor.l2_access = txn_core.access
+            if proc_core is not None:
+                processor._memory_complete = impl.MemoryCompleteCore(
+                    processor, proc_core, L1State.VALID, CacheLine)
+            network._endpoints[node.node_id].receive = impl.DirectoryReceiveCore(
+                node.cache_controller, node.directory,
+                VirtualNetwork.REQUEST, VirtualNetwork.FINAL_ACK,
+                MessageClass.REQUEST_READ_ONLY, MessageClass.REQUEST_READ_WRITE,
+                MessageClass.WRITEBACK, MessageClass.FINAL_ACK)
 
     # --------------------------------------------------------------------- run
     def _default_max_cycles(self) -> int:

@@ -14,13 +14,15 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.coherence.cache import CacheArray
+from repro import kernel
+from repro.coherence.cache import CacheArray, CacheLine
+from repro.coherence.common import MemoryOp
 from repro.coherence.snooping.bus import AddressBus
 from repro.coherence.snooping.cache_controller import SnoopingCacheController
 from repro.coherence.snooping.memory_controller import SnoopingMemoryController
 from repro.coherence.snooping.states import SnoopState
 from repro.processor.core import BlockingProcessor
-from repro.processor.l1 import L1FilterCache
+from repro.processor.l1 import L1FilterCache, L1State
 from repro.safetynet.manager import SafetyNet
 from repro.sim.config import ProtocolKind, SystemConfig
 from repro.system.base import System
@@ -98,6 +100,30 @@ class SnoopingSystem(System):
         self.safetynet.add_squash_hook(self.bus.flush)
         self.safetynet.add_squash_hook(
             lambda: self.slow_start_gate.reset_outstanding())
+
+    def _install_compiled_fast_paths(self) -> None:
+        # Rebind the issue loop and the bus arbitration onto the compiled
+        # cores (byte-identical ports; the pure methods stay authoritative
+        # and still handle every cold path).
+        impl = kernel.engine_impl()
+        if impl is None or not hasattr(impl, "ProcessorCore"):
+            return
+        if not isinstance(self.sim, impl.Simulator):
+            return
+        for node in self.nodes:
+            processor = node.processor
+            if processor.l1 is not None:
+                proc_core = impl.ProcessorCore(
+                    processor, node.l2_array, MemoryOp.STORE,
+                    SnoopState.INVALID,
+                    (SnoopState.MODIFIED, SnoopState.EXCLUSIVE))
+                processor._issue_next = proc_core
+                if hasattr(impl, "MemoryCompleteCore"):
+                    processor._memory_complete = impl.MemoryCompleteCore(
+                        processor, proc_core, L1State.VALID, CacheLine)
+        core = impl.BusCore(self.bus)
+        self.bus._bus_core = core
+        self.bus.issue = core.issue
 
     # --------------------------------------------------------------------- run
     def _default_max_cycles(self) -> int:

@@ -1,14 +1,17 @@
 #!/usr/bin/env python
 """Byte-compare two runner ``--json`` reports modulo execution-side keys.
 
-The determinism contract says serial, parallel, batched, cached and sharded
-execution produce *the same report*.  The one permitted difference is the
-top-level ``cache`` block: it summarises this process's hit/miss/store
-traffic (and is only present at all when the run used ``--cache``), so it
-legitimately differs between a cold serial run and a sharded run over a
-shared store.  This tool strips exactly that block from both documents,
-canonicalises them (sorted keys, tight separators — the same encoding the
-spec layer hashes), and compares the resulting bytes.
+The determinism contract says serial, parallel, batched, cached, sharded —
+and pure- vs compiled-tier — execution produce *the same report*.  The only
+permitted differences are the execution-side top-level blocks: ``cache``
+(this process's hit/miss/store traffic, present only under ``--cache``) and
+``kernel`` (the executing kernel tier + compiler tag), both of which
+describe how the campaign ran rather than what it computed.  This tool
+strips exactly those blocks from both documents, canonicalises them (sorted
+keys, tight separators — the same encoding the spec layer hashes), and
+compares the resulting bytes.  When the two reports ran on different kernel
+tiers a note is printed (comparison proceeds normally — cross-tier identity
+is the point of the contract).
 
 Exit status 0 means identical; 1 means divergent, with the differing
 top-level experiments named so a CI log points straight at the culprit.
@@ -26,8 +29,33 @@ import sys
 from typing import Any, Dict, List, Optional
 
 #: Top-level report keys describing *how* the campaign ran rather than what
-#: it computed; everything else must match byte for byte.
-EXECUTION_KEYS = ("cache",)
+#: it computed; everything else must match byte for byte.  ``cache`` is the
+#: per-process hit/miss summary of ``--cache`` runs; ``kernel`` records the
+#: executing kernel tier (+ compiler tag), which legitimately differs when
+#: the same campaign is run on the pure and the compiled tier.
+EXECUTION_KEYS = ("cache", "kernel")
+
+
+def cross_tier_note(reference: Dict[str, Any],
+                    candidate: Dict[str, Any]) -> Optional[str]:
+    """A warning line when the two reports ran on different kernel tiers.
+
+    Cross-tier comparison is exactly what the byte-identity contract is
+    *for*, so this never fails the comparison — but a CI log should say so
+    explicitly, because an unexpected tier (e.g. a compiled-tier artifact in
+    a pure-tier lane) usually means the environment, not the code, changed.
+    """
+    ref_kernel = reference.get("kernel")
+    cand_kernel = candidate.get("kernel")
+    if not isinstance(ref_kernel, dict) or not isinstance(cand_kernel, dict):
+        return None
+    ref_tier = ref_kernel.get("tier")
+    cand_tier = cand_kernel.get("tier")
+    if ref_tier == cand_tier:
+        return None
+    return (f"note: cross-tier comparison (reference ran on "
+            f"{ref_tier!r}, candidate on {cand_tier!r}); kernel blocks are "
+            "execution-side and excluded from the byte comparison")
 
 
 def normalize(document: Dict[str, Any]) -> str:
@@ -83,6 +111,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     reference = _load(args.reference)
     candidate = _load(args.candidate)
+    note = cross_tier_note(reference, candidate)
+    if note is not None:
+        print(note, file=sys.stderr)
     ref_bytes = normalize(reference)
     cand_bytes = normalize(candidate)
     if ref_bytes == cand_bytes:
