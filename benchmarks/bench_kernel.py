@@ -20,6 +20,11 @@ macro experiment (the Figure 4 recovery-rate sweep) end to end:
   process with warm workload/topology memos, against a fresh-subprocess
   -per-spec baseline (cold imports, cold memos); reports the speedup and
   checks the two modes produce identical results.
+* ``campaign_multiplex`` — the full 40-point workload-matrix grid as one
+  multiplexed warm-process pass (:class:`repro.campaign.multiplex
+  .MultiplexExecutor`) against the same grid batched in a single cold
+  subprocess; reports the speedup and checks all modes produce
+  byte-identical results.
 * ``campaign_sharded`` — the full 40-point workload-matrix grid fanned out
   to crash-safe store workers (:class:`repro.campaign.sharding
   .ShardedExecutor`) against an uncached serial baseline; reports the
@@ -368,6 +373,108 @@ def bench_campaign_batched(references: int = 250) -> Dict[str, Any]:
     }
 
 
+def _batched_map_json(spec_payloads: List[str]) -> List[str]:
+    """Subprocess entry for the cold-campaign baseline: map the grid through
+    a fresh :class:`BatchExecutor` (cold imports, cold memos) and return the
+    result JSON strings."""
+    import json as _json
+
+    from repro.campaign.executor import BatchExecutor
+    from repro.campaign.spec import spec_from_json
+
+    specs = [spec_from_json(_json.loads(payload)) for payload in spec_payloads]
+    return [_json.dumps(result.to_json(), sort_keys=True)
+            for result in BatchExecutor().map(specs)]
+
+
+def bench_campaign_multiplex(references: int = 15,
+                             quick: bool = False) -> Dict[str, Any]:
+    """Multiplexed one-process pass vs a cold batched campaign process on
+    the workload-matrix grid (full: all 40 design points; ``quick``: the
+    8-point quick grid).
+
+    The baseline is the whole grid shelled out to **one** freshly spawned
+    interpreter mapping through :class:`repro.campaign.executor
+    .BatchExecutor` — a campaign run cold, the way a driver script invokes
+    the runner: interpreter start, cold imports, cold artifact memos, cold
+    allocator.  The multiplexed leg maps the same grid in-process through
+    :class:`repro.campaign.multiplex.MultiplexExecutor` (memos cleared
+    first, so artifact generation is *not* where the win comes from),
+    interleaving system construction with run execution so every hot path
+    stays warm.  Both legs must produce byte-identical results (the
+    multiplexed leg of the determinism contract, reported as
+    ``identical``).
+
+    ``references`` is deliberately short: the benchmark measures the
+    per-campaign and per-point orchestration overhead the multiplexer
+    amortizes (process start, imports, prologue construction), which long
+    simulations would drown; the in-process batched leg rides along so the
+    interpreter-start share of the win stays visible.
+    """
+    import json as _json
+    import multiprocessing as mp
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.campaign.executor import BatchExecutor
+    from repro.campaign.multiplex import MultiplexExecutor
+    from repro.campaign.precompute import clear_memos
+    from repro.campaign.spec import RunSpec
+    from repro.experiments.workload_matrix import (
+        MAX_CYCLES,
+        PROTOCOLS,
+        QUICK_WORKLOADS,
+        S3_MODES,
+        _point_config,
+        _point_label,
+    )
+    from repro.workloads import workload_names
+
+    workloads = QUICK_WORKLOADS if quick else workload_names()
+    specs = [RunSpec(config=_point_config(workload, protocol, s3,
+                                          references=references, seed=1),
+                     label=_point_label(workload, protocol, s3),
+                     max_cycles=MAX_CYCLES)
+             for workload in workloads
+             for protocol in PROTOCOLS
+             for s3 in S3_MODES]
+    payloads = [_json.dumps(spec.to_json()) for spec in specs]
+
+    spawn = mp.get_context("spawn")
+    start = time.perf_counter()
+    with ProcessPoolExecutor(max_workers=1, mp_context=spawn) as pool:
+        cold_results = pool.submit(_batched_map_json, payloads).result()
+    cold_batched_seconds = time.perf_counter() - start
+
+    # The multiplexed leg runs first of the two in-process legs: it is the
+    # primary metric, and it should not be measured on a heap another leg
+    # just churned.
+    clear_memos()
+    start = time.perf_counter()
+    mux_results = MultiplexExecutor().map(specs)
+    mux_seconds = time.perf_counter() - start
+
+    clear_memos()
+    start = time.perf_counter()
+    batched_results = BatchExecutor().map(specs)
+    batched_seconds = time.perf_counter() - start
+
+    mux_json = [_json.dumps(result.to_json(), sort_keys=True)
+                for result in mux_results]
+    batched_json = [_json.dumps(result.to_json(), sort_keys=True)
+                    for result in batched_results]
+    return {
+        "specs": len(specs),
+        "cpus": _available_cpus(),
+        "references": references,
+        "cold_batched_seconds": round(cold_batched_seconds, 3),
+        "batched_seconds": round(batched_seconds, 3),
+        "wall_seconds": round(mux_seconds, 3),
+        "multiplex_speedup": round(cold_batched_seconds / mux_seconds, 3)
+        if mux_seconds > 0 else float("inf"),
+        "identical": mux_json == cold_results and mux_json == batched_json,
+    }
+
+
 def bench_campaign_sharded(references: int = 80, workers: int = 4,
                            quick: bool = False) -> Dict[str, Any]:
     """Sharded store workers vs an uncached serial run on the workload
@@ -462,6 +569,8 @@ BENCHMARKS: Dict[str, Any] = {
                    {"workloads": ["jbb", "oltp"], "references": 200}),
     "campaign_batched": (bench_campaign_batched, {"references": 80},
                          {"references": 60}),
+    "campaign_multiplex": (bench_campaign_multiplex, {"references": 15},
+                           {"references": 15, "quick": True}),
     "campaign_sharded": (bench_campaign_sharded,
                          {"references": 80, "workers": 4},
                          {"references": 60, "workers": 2, "quick": True}),

@@ -1580,7 +1580,7 @@ static struct {
         *delivered_at, *injected_at, *messages_delivered,
         *total_message_latency, *delivered, *receive, *ordering,
         *note_delivery, *deliver_label, *squashed_net, *delivered_name,
-        *reordered_name;
+        *reordered_name, *send_seq_name, *max_delivered_seq;
 } S;
 
 static PyObject *Direction_LOCAL = NULL;     /* lazily imported */
@@ -1647,6 +1647,12 @@ struct CSwitchCoreT {
     PyObject *endpoints;        /* network._endpoints dict */
     PyObject *delivered_counters, *reordered_counters;  /* cache lists */
     PyObject *vnet_counter_meth;/* bound network._vnet_counter */
+    PyObject *ordering_records; /* ordering._records dict */
+    PyObject *record_meth;      /* bound ordering._record */
+    PyObject *pvnet_delivered;  /* ordering.per_vnet_delivered dict */
+    PyObject *pvnet_reordered;  /* ordering.per_vnet_reordered dict */
+    PyObject *local_pending;    /* local endpoint's pending_injection deque */
+    int local_pending_resolved;
     int always_eject;           /* can_eject is identically True (has VCs) */
     Py_ssize_t nout;
     OutPort *outs;
@@ -1951,24 +1957,108 @@ DThunk_call(CDeliverThunk *self, PyObject *args, PyObject *kwds)
     if (getattr_ll(message, S.injected_at, &injected) < 0 ||
         addattr_ll(network, S.total_message_latency, now - injected) < 0)
         return NULL;
-    PyObject *ordering = PyObject_GetAttr(network, S.ordering);
-    if (ordering == NULL)
-        return NULL;
-    PyObject *note = PyObject_GetAttr(ordering, S.note_delivery);
-    Py_DECREF(ordering);
-    if (note == NULL)
-        return NULL;
-    PyObject *reordered_obj = PyObject_CallOneArg(note, message);
-    Py_DECREF(note);
-    if (reordered_obj == NULL)
-        return NULL;
-    int reordered = PyObject_IsTrue(reordered_obj);
-    Py_DECREF(reordered_obj);
-    if (reordered < 0)
-        return NULL;
+    /* Inline of ordering.note_delivery(message): one dict probe plus
+     * plain attribute bookkeeping instead of a bound-method allocation
+     * and a Python frame per delivered message. */
     PyObject *vn_obj = PyObject_GetAttr(message, S.vnet);
     if (vn_obj == NULL)
         return NULL;
+    int reordered;
+    {
+        PyObject *src = PyObject_GetAttr(message, S.src);
+        if (src == NULL)
+            goto fail_vn;
+        PyObject *dst = PyObject_GetAttr(message, S.dst);
+        if (dst == NULL) {
+            Py_DECREF(src);
+            goto fail_vn;
+        }
+        PyObject *key = PyTuple_Pack(3, src, dst, vn_obj);
+        Py_DECREF(src);
+        Py_DECREF(dst);
+        if (key == NULL)
+            goto fail_vn;
+        PyObject *record = PyDict_GetItemWithError(core->ordering_records,
+                                                   key);
+        int rec_new = 0;
+        if (record == NULL) {
+            if (PyErr_Occurred()) {
+                Py_DECREF(key);
+                goto fail_vn;
+            }
+            record = PyObject_CallOneArg(core->record_meth, key);
+            if (record == NULL) {
+                Py_DECREF(key);
+                goto fail_vn;
+            }
+            rec_new = 1;
+        }
+        Py_DECREF(key);
+        long long send_seq, max_seq;
+        if (addattr_ll(record, S.delivered_name, 1) < 0 ||
+            getattr_ll(message, S.send_seq_name, &send_seq) < 0 ||
+            getattr_ll(record, S.max_delivered_seq, &max_seq) < 0) {
+            if (rec_new)
+                Py_DECREF(record);
+            goto fail_vn;
+        }
+        reordered = send_seq < max_seq;
+        if (reordered) {
+            if (addattr_ll(record, S.reordered_name, 1) < 0) {
+                if (rec_new)
+                    Py_DECREF(record);
+                goto fail_vn;
+            }
+        }
+        else if (setattr_ll(record, S.max_delivered_seq, send_seq) < 0) {
+            if (rec_new)
+                Py_DECREF(record);
+            goto fail_vn;
+        }
+        if (rec_new)
+            Py_DECREF(record);
+        /* per_vnet_delivered[vnet] += 1 (key always pre-seeded) */
+        PyObject *cur = PyDict_GetItemWithError(core->pvnet_delivered,
+                                                vn_obj);
+        if (cur == NULL) {
+            if (!PyErr_Occurred())
+                PyErr_SetObject(PyExc_KeyError, vn_obj);
+            goto fail_vn;
+        }
+        long long dv = PyLong_AsLongLong(cur);
+        if (dv == -1 && PyErr_Occurred())
+            goto fail_vn;
+        PyObject *nv = PyLong_FromLongLong(dv + 1);
+        if (nv == NULL)
+            goto fail_vn;
+        int ok = PyDict_SetItem(core->pvnet_delivered, vn_obj, nv);
+        Py_DECREF(nv);
+        if (ok < 0)
+            goto fail_vn;
+        if (reordered) {
+            cur = PyDict_GetItemWithError(core->pvnet_reordered, vn_obj);
+            if (cur == NULL) {
+                if (!PyErr_Occurred())
+                    PyErr_SetObject(PyExc_KeyError, vn_obj);
+                goto fail_vn;
+            }
+            dv = PyLong_AsLongLong(cur);
+            if (dv == -1 && PyErr_Occurred())
+                goto fail_vn;
+            nv = PyLong_FromLongLong(dv + 1);
+            if (nv == NULL)
+                goto fail_vn;
+            ok = PyDict_SetItem(core->pvnet_reordered, vn_obj, nv);
+            Py_DECREF(nv);
+            if (ok < 0)
+                goto fail_vn;
+        }
+        goto ordering_done;
+    fail_vn:
+        Py_DECREF(vn_obj);
+        return NULL;
+    }
+ordering_done:;
     Py_ssize_t vn = PyLong_AsSsize_t(vn_obj);
     if (vn == -1 && PyErr_Occurred()) {
         Py_DECREF(vn_obj);
@@ -2125,6 +2215,11 @@ Core_traverse(CSwitchCore *self, visitproc visit, void *arg)
     Py_VISIT(self->delivered_counters);
     Py_VISIT(self->reordered_counters);
     Py_VISIT(self->vnet_counter_meth);
+    Py_VISIT(self->ordering_records);
+    Py_VISIT(self->record_meth);
+    Py_VISIT(self->pvnet_delivered);
+    Py_VISIT(self->pvnet_reordered);
+    Py_VISIT(self->local_pending);
     for (Py_ssize_t i = 0; i < self->nout; i++) {
         OutPort *out = &self->outs[i];
         Py_VISIT(out->dir);
@@ -2188,6 +2283,11 @@ Core_clear_gc(CSwitchCore *self)
     Py_CLEAR(self->delivered_counters);
     Py_CLEAR(self->reordered_counters);
     Py_CLEAR(self->vnet_counter_meth);
+    Py_CLEAR(self->ordering_records);
+    Py_CLEAR(self->record_meth);
+    Py_CLEAR(self->pvnet_delivered);
+    Py_CLEAR(self->pvnet_reordered);
+    Py_CLEAR(self->local_pending);
     for (Py_ssize_t i = 0; i < self->nout; i++) {
         OutPort *out = &self->outs[i];
         Py_CLEAR(out->dir);
@@ -2485,6 +2585,45 @@ Core_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
                                                      "_vnet_counter");
     if (self->vnet_counter_meth == NULL)
         goto fail;
+    /* ordering-tracker caches for the inlined note_delivery hit path.
+     * The _records dict and the two per-vnet dicts are never reassigned
+     * (OrderingTracker.reset mutates them in place), so the objects are
+     * safe to hold for the core's lifetime. */
+    tmp = PyObject_GetAttrString(self->network, "ordering");
+    if (tmp == NULL)
+        goto fail;
+    self->ordering_records = PyObject_GetAttrString(tmp, "_records");
+    if (self->ordering_records == NULL ||
+        !PyDict_Check(self->ordering_records)) {
+        Py_DECREF(tmp);
+        if (!PyErr_Occurred())
+            PyErr_SetString(PyExc_TypeError,
+                            "ordering._records must be a dict");
+        goto fail;
+    }
+    self->record_meth = PyObject_GetAttrString(tmp, "_record");
+    if (self->record_meth == NULL) {
+        Py_DECREF(tmp);
+        goto fail;
+    }
+    self->pvnet_delivered = PyObject_GetAttrString(tmp,
+                                                   "per_vnet_delivered");
+    if (self->pvnet_delivered == NULL || !PyDict_Check(self->pvnet_delivered)) {
+        Py_DECREF(tmp);
+        if (!PyErr_Occurred())
+            PyErr_SetString(PyExc_TypeError,
+                            "per_vnet_delivered must be a dict");
+        goto fail;
+    }
+    self->pvnet_reordered = PyObject_GetAttrString(tmp,
+                                                   "per_vnet_reordered");
+    Py_DECREF(tmp);
+    if (self->pvnet_reordered == NULL || !PyDict_Check(self->pvnet_reordered)) {
+        if (!PyErr_Occurred())
+            PyErr_SetString(PyExc_TypeError,
+                            "per_vnet_reordered must be a dict");
+        goto fail;
+    }
     tmp = PyObject_GetAttrString(self->network, "config");
     if (tmp == NULL)
         goto fail;
@@ -3151,11 +3290,45 @@ Core_scan(CSwitchCore *self, PyObject *Py_UNUSED(ignored))
         /* a head moved: release the credit for its input port */
         progressed = 1;
         if (slot->credit_local) {
-            PyObject *res = PyObject_CallOneArg(self->notify_space,
-                                                self->switch_id_obj);
-            if (res == NULL)
-                return NULL;
-            Py_DECREF(res);
+            /* Inline of network.notify_injection_space(switch_id) for the
+             * common case: the NIC's pending_injection deque is empty, so
+             * the whole call reduces to schedule_scan(delay=1) on this
+             * switch.  The deque object is stable once the endpoint is
+             * attached, so it is resolved lazily and cached. */
+            if (!self->local_pending_resolved) {
+                PyObject *ep = PyDict_GetItemWithError(
+                    self->endpoints, self->switch_id_obj);
+                if (ep == NULL && PyErr_Occurred())
+                    return NULL;
+                if (ep != NULL) {
+                    self->local_pending = PyObject_GetAttrString(
+                        ep, "pending_injection");
+                    if (self->local_pending == NULL)
+                        return NULL;
+                    self->local_pending_resolved = 1;
+                }
+            }
+            Py_ssize_t npend = -1;
+            if (self->local_pending_resolved) {
+                npend = PyObject_Size(self->local_pending);
+                if (npend < 0)
+                    return NULL;
+            }
+            if (npend == 0) {
+                if (!self->scan_scheduled) {
+                    self->scan_scheduled = 1;
+                    if (core_push_scan(self, now + 1) < 0)
+                        return NULL;
+                }
+            }
+            else {
+                /* queued messages (or no endpoint yet): full drain path */
+                PyObject *res = PyObject_CallOneArg(self->notify_space,
+                                                    self->switch_id_obj);
+                if (res == NULL)
+                    return NULL;
+                Py_DECREF(res);
+            }
         }
         else if (slot->credit_up != NULL &&
                  !slot->credit_up->scan_scheduled) {
@@ -6765,7 +6938,1752 @@ static PyTypeObject CMemCore_Type = {
     .tp_new = MemCore_new,
 };
 
-/* ------------------------------------------------------------ module def */
+/* ------------------------------------------------------------ SnoopCore */
+
+/* Compiled SnoopingCacheController hot paths: the processor-facing
+ * access() (MOESI L2 lookup + hit finish + transaction issue), the
+ * per-request snoop() fan-out the BusCore broadcast dispatches to
+ * (own/foreign GETS/GETX/Writeback, including the Section 3.2
+ * writeback-race bookkeeping) and the data-network receive_data()
+ * install/complete path.  Ports of the pure methods in
+ * repro.coherence.snooping.cache_controller; every cold or rare branch
+ * (slow-start retry, full-set install, the corner case, pending-forward
+ * service, recovery) stays pure.  Completion runs through the
+ * controller's _pending_request/_pending_on_complete attributes, the
+ * same protocol the pure _complete_current uses. */
+
+/* Interned attribute names used by the snooping core. */
+static struct {
+    PyObject *requestor, *rtype, *phase, *record_request, *bus_ordered,
+        *invalidate_on_install, *value_hint, *writebacks_ordered,
+        *own_request_ordered, *cache_to_cache_transfers, *forwards_deferred,
+        *late_invalidates, *writeback_race_first_getx, *stale_data,
+        *duplicate_data;
+} SN;
+
+typedef struct _CSnoopCore CSnoopCore;
+
+/* Reusable finish thunk: the _finish() closure of the single outstanding
+ * reference (blocking processor => at most one in flight per controller). */
+typedef struct {
+    PyObject_HEAD
+    CSnoopCore *core;           /* strong */
+    PyObject *request, *cb;     /* armed payload; NULL when idle */
+} CSnoopFinishThunk;
+
+/* Reusable timeout thunk: the `lambda: self._transaction_timeout(txn)`
+ * of the single outstanding transaction. */
+typedef struct {
+    PyObject_HEAD
+    CSnoopCore *core;           /* strong */
+    PyObject *txn;
+} CSnoopTimeoutThunk;
+
+/* Per-occurrence supply thunk: cache-to-cache deliveries overlap (any
+ * number of foreign requests can be in flight), so each carries its own
+ * payload. */
+typedef struct {
+    PyObject_HEAD
+    PyObject *deliver;          /* bound system._deliver_data */
+    PyObject *dst, *addr, *value;
+} CSupplyThunk;
+
+/* Per-occurrence own-upgrade thunk: receive_data(address, value) at +1
+ * when our ordered GETS/GETX finds valid local data. */
+typedef struct {
+    PyObject_HEAD
+    CSnoopCore *core;           /* strong */
+    PyObject *addr, *value;
+} CSnoopRecvThunk;
+
+struct _CSnoopCore {
+    PyObject_HEAD
+    PyObject *ctrl;
+    CSimulator *sim;            /* strong */
+    CEventQueue *cqueue;        /* strong */
+    PyObject *name_obj;         /* ctrl.name (default event label) */
+    PyObject *node_obj;         /* PyLong ctrl.node_id */
+    long long node_id;
+    PyObject *load_op, *store_op;
+    PyObject *invalid_state, *shared_state, *exclusive_state, *owned_state,
+        *modified_state;
+    PyObject *gets_type, *getx_type, *wb_type;
+    PyObject *waiting_phase, *lost_phase;
+    PyObject *busreq_cls, *txn_cls, *line_cls;
+    PyObject *cache;            /* ctrl.cache (CacheArray) */
+    PyObject *l2_sets;          /* cache._sets */
+    long long l2_block, l2_nsets, assoc;
+    PyObject *observer;         /* cache._observer (Py_None when unset) */
+    long long l2_hit_cycles, c2c_cycles;
+    PyObject *l2_hit_obj;
+    PyObject *bus_issue;        /* bus.issue (post-rebind BusCore.issue) */
+    PyObject *deliver;          /* ctrl.deliver_data */
+    PyObject *may_issue, *on_retire;
+    PyObject *counters_dict, *count_meth;
+    PyObject *writebacks_dict;  /* ctrl.writebacks */
+    PyObject *forwards_dict;    /* ctrl._pending_forwards */
+    PyObject *passed_set;       /* ctrl._ownership_passed */
+    PyObject *complete_cb;      /* bound ctrl._complete_current */
+    PyObject *pure_issue;       /* bound ctrl._issue_transaction */
+    PyObject *retry_meth;       /* bound ctrl._retry_issue */
+    PyObject *pure_install;     /* bound ctrl._install_line */
+    PyObject *finish_meth;      /* bound ctrl._finish */
+    PyObject *timeout_meth;     /* bound ctrl._transaction_timeout */
+    PyObject *corner_meth;      /* bound ctrl._corner_case */
+    PyObject *forwards_meth;    /* bound ctrl._process_pending_forwards */
+    PyObject *zero_obj;
+    PyObject *finish_thunk;     /* CSnoopFinishThunk */
+    PyObject *timeout_thunk;    /* CSnoopTimeoutThunk */
+};
+
+static PyTypeObject CSnoopCore_Type;
+static PyTypeObject CSnoopFinishThunk_Type;
+static PyTypeObject CSnoopTimeoutThunk_Type;
+static PyTypeObject CSupplyThunk_Type;
+static PyTypeObject CSnoopRecvThunk_Type;
+
+static int snoop_receive_impl(CSnoopCore *self, PyObject *addr_obj,
+                              PyObject *value);
+
+/* ------------------------------------------------------- finish thunk */
+
+static int
+SnoopFinish_traverse(CSnoopFinishThunk *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->core);
+    Py_VISIT(self->request);
+    Py_VISIT(self->cb);
+    return 0;
+}
+
+static int
+SnoopFinish_clear_gc(CSnoopFinishThunk *self)
+{
+    Py_CLEAR(self->core);
+    Py_CLEAR(self->request);
+    Py_CLEAR(self->cb);
+    return 0;
+}
+
+static void
+SnoopFinish_dealloc(CSnoopFinishThunk *self)
+{
+    PyObject_GC_UnTrack(self);
+    SnoopFinish_clear_gc(self);
+    PyObject_GC_Del(self);
+}
+
+static PyObject *
+SnoopFinish_call(CSnoopFinishThunk *self, PyObject *args, PyObject *kwds)
+{
+    /* _finish._done: stamp completion time, then hand the request back. */
+    PyObject *request = self->request;
+    PyObject *cb = self->cb;
+    self->request = NULL;
+    self->cb = NULL;
+    if (request == NULL || cb == NULL) {
+        Py_XDECREF(request);
+        Py_XDECREF(cb);
+        PyErr_SetString(PyExc_RuntimeError, "finish thunk fired while idle");
+        return NULL;
+    }
+    if (setattr_ll(request, TS.completed_at, self->core->sim->now) < 0) {
+        Py_DECREF(request);
+        Py_DECREF(cb);
+        return NULL;
+    }
+    PyObject *res = PyObject_CallOneArg(cb, request);
+    Py_DECREF(request);
+    Py_DECREF(cb);
+    if (res == NULL)
+        return NULL;
+    Py_DECREF(res);
+    Py_RETURN_NONE;
+}
+
+static PyTypeObject CSnoopFinishThunk_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._ckernel._SnoopFinishThunk",
+    .tp_basicsize = sizeof(CSnoopFinishThunk),
+    .tp_dealloc = (destructor)SnoopFinish_dealloc,
+    .tp_call = (ternaryfunc)SnoopFinish_call,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_traverse = (traverseproc)SnoopFinish_traverse,
+    .tp_clear = (inquiry)SnoopFinish_clear_gc,
+};
+
+/* ------------------------------------------------------ timeout thunk */
+
+static int
+SnoopTimeout_traverse(CSnoopTimeoutThunk *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->core);
+    Py_VISIT(self->txn);
+    return 0;
+}
+
+static int
+SnoopTimeout_clear_gc(CSnoopTimeoutThunk *self)
+{
+    Py_CLEAR(self->core);
+    Py_CLEAR(self->txn);
+    return 0;
+}
+
+static void
+SnoopTimeout_dealloc(CSnoopTimeoutThunk *self)
+{
+    PyObject_GC_UnTrack(self);
+    SnoopTimeout_clear_gc(self);
+    PyObject_GC_Del(self);
+}
+
+static PyObject *
+SnoopTimeout_call(CSnoopTimeoutThunk *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *txn = self->txn;
+    self->txn = NULL;
+    if (txn == NULL) {
+        PyErr_SetString(PyExc_RuntimeError, "timeout thunk fired while idle");
+        return NULL;
+    }
+    PyObject *res = PyObject_CallOneArg(self->core->timeout_meth, txn);
+    Py_DECREF(txn);
+    return res;
+}
+
+static PyTypeObject CSnoopTimeoutThunk_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._ckernel._SnoopTimeoutThunk",
+    .tp_basicsize = sizeof(CSnoopTimeoutThunk),
+    .tp_dealloc = (destructor)SnoopTimeout_dealloc,
+    .tp_call = (ternaryfunc)SnoopTimeout_call,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_traverse = (traverseproc)SnoopTimeout_traverse,
+    .tp_clear = (inquiry)SnoopTimeout_clear_gc,
+};
+
+/* ------------------------------------------------------- supply thunk */
+
+static int
+Supply_traverse(CSupplyThunk *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->deliver);
+    Py_VISIT(self->dst);
+    Py_VISIT(self->addr);
+    Py_VISIT(self->value);
+    return 0;
+}
+
+static int
+Supply_clear_gc(CSupplyThunk *self)
+{
+    Py_CLEAR(self->deliver);
+    Py_CLEAR(self->dst);
+    Py_CLEAR(self->addr);
+    Py_CLEAR(self->value);
+    return 0;
+}
+
+static void
+Supply_dealloc(CSupplyThunk *self)
+{
+    PyObject_GC_UnTrack(self);
+    Supply_clear_gc(self);
+    PyObject_GC_Del(self);
+}
+
+static PyObject *
+Supply_call(CSupplyThunk *self, PyObject *args, PyObject *kwds)
+{
+    return PyObject_CallFunctionObjArgs(self->deliver, self->dst,
+                                        self->addr, self->value, NULL);
+}
+
+static PyTypeObject CSupplyThunk_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._ckernel._SupplyThunk",
+    .tp_basicsize = sizeof(CSupplyThunk),
+    .tp_dealloc = (destructor)Supply_dealloc,
+    .tp_call = (ternaryfunc)Supply_call,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_traverse = (traverseproc)Supply_traverse,
+    .tp_clear = (inquiry)Supply_clear_gc,
+};
+
+/* ------------------------------------------------------ receive thunk */
+
+static int
+SnoopRecv_traverse(CSnoopRecvThunk *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->core);
+    Py_VISIT(self->addr);
+    Py_VISIT(self->value);
+    return 0;
+}
+
+static int
+SnoopRecv_clear_gc(CSnoopRecvThunk *self)
+{
+    Py_CLEAR(self->core);
+    Py_CLEAR(self->addr);
+    Py_CLEAR(self->value);
+    return 0;
+}
+
+static void
+SnoopRecv_dealloc(CSnoopRecvThunk *self)
+{
+    PyObject_GC_UnTrack(self);
+    SnoopRecv_clear_gc(self);
+    PyObject_GC_Del(self);
+}
+
+static PyObject *
+SnoopRecv_call(CSnoopRecvThunk *self, PyObject *args, PyObject *kwds)
+{
+    if (snoop_receive_impl(self->core, self->addr, self->value) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyTypeObject CSnoopRecvThunk_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._ckernel._SnoopRecvThunk",
+    .tp_basicsize = sizeof(CSnoopRecvThunk),
+    .tp_dealloc = (destructor)SnoopRecv_dealloc,
+    .tp_call = (ternaryfunc)SnoopRecv_call,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_traverse = (traverseproc)SnoopRecv_traverse,
+    .tp_clear = (inquiry)SnoopRecv_clear_gc,
+};
+
+/* ---------------------------------------------------------- core type */
+
+static int
+SnoopCore_traverse(CSnoopCore *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->ctrl);
+    Py_VISIT(self->sim);
+    Py_VISIT(self->cqueue);
+    Py_VISIT(self->name_obj);
+    Py_VISIT(self->node_obj);
+    Py_VISIT(self->load_op);
+    Py_VISIT(self->store_op);
+    Py_VISIT(self->invalid_state);
+    Py_VISIT(self->shared_state);
+    Py_VISIT(self->exclusive_state);
+    Py_VISIT(self->owned_state);
+    Py_VISIT(self->modified_state);
+    Py_VISIT(self->gets_type);
+    Py_VISIT(self->getx_type);
+    Py_VISIT(self->wb_type);
+    Py_VISIT(self->waiting_phase);
+    Py_VISIT(self->lost_phase);
+    Py_VISIT(self->busreq_cls);
+    Py_VISIT(self->txn_cls);
+    Py_VISIT(self->line_cls);
+    Py_VISIT(self->cache);
+    Py_VISIT(self->l2_sets);
+    Py_VISIT(self->observer);
+    Py_VISIT(self->l2_hit_obj);
+    Py_VISIT(self->bus_issue);
+    Py_VISIT(self->deliver);
+    Py_VISIT(self->may_issue);
+    Py_VISIT(self->on_retire);
+    Py_VISIT(self->counters_dict);
+    Py_VISIT(self->count_meth);
+    Py_VISIT(self->writebacks_dict);
+    Py_VISIT(self->forwards_dict);
+    Py_VISIT(self->passed_set);
+    Py_VISIT(self->complete_cb);
+    Py_VISIT(self->pure_issue);
+    Py_VISIT(self->retry_meth);
+    Py_VISIT(self->pure_install);
+    Py_VISIT(self->finish_meth);
+    Py_VISIT(self->timeout_meth);
+    Py_VISIT(self->corner_meth);
+    Py_VISIT(self->forwards_meth);
+    Py_VISIT(self->zero_obj);
+    Py_VISIT(self->finish_thunk);
+    Py_VISIT(self->timeout_thunk);
+    return 0;
+}
+
+static int
+SnoopCore_clear_gc(CSnoopCore *self)
+{
+    Py_CLEAR(self->ctrl);
+    Py_CLEAR(self->sim);
+    Py_CLEAR(self->cqueue);
+    Py_CLEAR(self->name_obj);
+    Py_CLEAR(self->node_obj);
+    Py_CLEAR(self->load_op);
+    Py_CLEAR(self->store_op);
+    Py_CLEAR(self->invalid_state);
+    Py_CLEAR(self->shared_state);
+    Py_CLEAR(self->exclusive_state);
+    Py_CLEAR(self->owned_state);
+    Py_CLEAR(self->modified_state);
+    Py_CLEAR(self->gets_type);
+    Py_CLEAR(self->getx_type);
+    Py_CLEAR(self->wb_type);
+    Py_CLEAR(self->waiting_phase);
+    Py_CLEAR(self->lost_phase);
+    Py_CLEAR(self->busreq_cls);
+    Py_CLEAR(self->txn_cls);
+    Py_CLEAR(self->line_cls);
+    Py_CLEAR(self->cache);
+    Py_CLEAR(self->l2_sets);
+    Py_CLEAR(self->observer);
+    Py_CLEAR(self->l2_hit_obj);
+    Py_CLEAR(self->bus_issue);
+    Py_CLEAR(self->deliver);
+    Py_CLEAR(self->may_issue);
+    Py_CLEAR(self->on_retire);
+    Py_CLEAR(self->counters_dict);
+    Py_CLEAR(self->count_meth);
+    Py_CLEAR(self->writebacks_dict);
+    Py_CLEAR(self->forwards_dict);
+    Py_CLEAR(self->passed_set);
+    Py_CLEAR(self->complete_cb);
+    Py_CLEAR(self->pure_issue);
+    Py_CLEAR(self->retry_meth);
+    Py_CLEAR(self->pure_install);
+    Py_CLEAR(self->finish_meth);
+    Py_CLEAR(self->timeout_meth);
+    Py_CLEAR(self->corner_meth);
+    Py_CLEAR(self->forwards_meth);
+    Py_CLEAR(self->zero_obj);
+    Py_CLEAR(self->finish_thunk);
+    Py_CLEAR(self->timeout_thunk);
+    return 0;
+}
+
+static void
+SnoopCore_dealloc(CSnoopCore *self)
+{
+    PyObject_GC_UnTrack(self);
+    SnoopCore_clear_gc(self);
+    PyObject_GC_Del(self);
+}
+
+static PyObject *
+SnoopCore_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    PyObject *ctrl, *load_op, *store_op, *invalid_state, *shared_state,
+        *exclusive_state, *owned_state, *modified_state, *gets_type,
+        *getx_type, *wb_type, *waiting_phase, *lost_phase, *busreq_cls,
+        *txn_cls, *line_cls;
+    if (!PyArg_ParseTuple(args, "OOOOOOOOOOOOOOOO", &ctrl, &load_op,
+                          &store_op, &invalid_state, &shared_state,
+                          &exclusive_state, &owned_state, &modified_state,
+                          &gets_type, &getx_type, &wb_type, &waiting_phase,
+                          &lost_phase, &busreq_cls, &txn_cls, &line_cls))
+        return NULL;
+    if (kwds && PyDict_GET_SIZE(kwds)) {
+        PyErr_SetString(PyExc_TypeError, "SnoopCore() takes no kwargs");
+        return NULL;
+    }
+    CSnoopCore *self = PyObject_GC_New(CSnoopCore, &CSnoopCore_Type);
+    if (self == NULL)
+        return NULL;
+    memset(((char *)self) + sizeof(PyObject), 0,
+           sizeof(CSnoopCore) - sizeof(PyObject));
+    PyObject_GC_Track((PyObject *)self);
+
+    Py_INCREF(ctrl);
+    self->ctrl = ctrl;
+    Py_INCREF(load_op);
+    self->load_op = load_op;
+    Py_INCREF(store_op);
+    self->store_op = store_op;
+    Py_INCREF(invalid_state);
+    self->invalid_state = invalid_state;
+    Py_INCREF(shared_state);
+    self->shared_state = shared_state;
+    Py_INCREF(exclusive_state);
+    self->exclusive_state = exclusive_state;
+    Py_INCREF(owned_state);
+    self->owned_state = owned_state;
+    Py_INCREF(modified_state);
+    self->modified_state = modified_state;
+    Py_INCREF(gets_type);
+    self->gets_type = gets_type;
+    Py_INCREF(getx_type);
+    self->getx_type = getx_type;
+    Py_INCREF(wb_type);
+    self->wb_type = wb_type;
+    Py_INCREF(waiting_phase);
+    self->waiting_phase = waiting_phase;
+    Py_INCREF(lost_phase);
+    self->lost_phase = lost_phase;
+    Py_INCREF(busreq_cls);
+    self->busreq_cls = busreq_cls;
+    Py_INCREF(txn_cls);
+    self->txn_cls = txn_cls;
+    Py_INCREF(line_cls);
+    self->line_cls = line_cls;
+
+    PyObject *sim = PyObject_GetAttrString(ctrl, "sim");
+    if (sim == NULL)
+        goto fail;
+    if (!Py_IS_TYPE(sim, &CSimulator_Type)) {
+        Py_DECREF(sim);
+        PyErr_SetString(PyExc_TypeError,
+                        "SnoopCore requires a compiled Simulator");
+        goto fail;
+    }
+    self->sim = (CSimulator *)sim;
+    Py_INCREF(self->sim->queue);
+    self->cqueue = self->sim->queue;
+
+    self->name_obj = PyObject_GetAttrString(ctrl, "name");
+    if (self->name_obj == NULL)
+        goto fail;
+    self->node_obj = PyObject_GetAttrString(ctrl, "node_id");
+    if (self->node_obj == NULL)
+        goto fail;
+    self->node_id = PyLong_AsLongLong(self->node_obj);
+    if (self->node_id == -1 && PyErr_Occurred())
+        goto fail;
+
+    self->cache = PyObject_GetAttrString(ctrl, "cache");
+    if (self->cache == NULL)
+        goto fail;
+    self->l2_sets = PyObject_GetAttrString(self->cache, "_sets");
+    if (self->l2_sets == NULL || !PyList_Check(self->l2_sets)) {
+        if (!PyErr_Occurred())
+            PyErr_SetString(PyExc_TypeError, "_sets must be a list");
+        goto fail;
+    }
+    if (getattrstr_ll(self->cache, "_block_bytes", &self->l2_block) < 0 ||
+        getattrstr_ll(self->cache, "_num_sets", &self->l2_nsets) < 0)
+        goto fail;
+    if (self->l2_block <= 0 || self->l2_nsets <= 0) {
+        PyErr_SetString(PyExc_ValueError,
+                        "cache geometry must be positive");
+        goto fail;
+    }
+    self->observer = PyObject_GetAttrString(self->cache, "_observer");
+    if (self->observer == NULL)
+        goto fail;
+
+    PyObject *config = PyObject_GetAttrString(ctrl, "config");
+    if (config == NULL)
+        goto fail;
+    PyObject *l2cfg = PyObject_GetAttrString(config, "l2");
+    if (l2cfg == NULL) {
+        Py_DECREF(config);
+        goto fail;
+    }
+    int rc = getattrstr_ll(l2cfg, "associativity", &self->assoc);
+    Py_DECREF(l2cfg);
+    if (rc < 0) {
+        Py_DECREF(config);
+        goto fail;
+    }
+    PyObject *pcfg = PyObject_GetAttrString(config, "processor");
+    Py_DECREF(config);
+    if (pcfg == NULL)
+        goto fail;
+    rc = getattrstr_ll(pcfg, "l2_hit_cycles", &self->l2_hit_cycles);
+    Py_DECREF(pcfg);
+    if (rc < 0)
+        goto fail;
+    self->l2_hit_obj = PyLong_FromLongLong(self->l2_hit_cycles);
+    if (self->l2_hit_obj == NULL)
+        goto fail;
+    if (getattrstr_ll(ctrl, "CACHE_TO_CACHE_CYCLES", &self->c2c_cycles) < 0)
+        goto fail;
+
+    PyObject *bus = PyObject_GetAttrString(ctrl, "bus");
+    if (bus == NULL)
+        goto fail;
+    self->bus_issue = PyObject_GetAttrString(bus, "issue");
+    Py_DECREF(bus);
+    if (self->bus_issue == NULL)
+        goto fail;
+    self->deliver = PyObject_GetAttrString(ctrl, "deliver_data");
+    if (self->deliver == NULL)
+        goto fail;
+    self->may_issue = PyObject_GetAttrString(ctrl, "may_issue");
+    if (self->may_issue == NULL)
+        goto fail;
+    self->on_retire = PyObject_GetAttrString(ctrl, "on_retire");
+    if (self->on_retire == NULL)
+        goto fail;
+    self->counters_dict = PyObject_GetAttrString(ctrl, "_counters");
+    if (self->counters_dict == NULL || !PyDict_Check(self->counters_dict)) {
+        if (!PyErr_Occurred())
+            PyErr_SetString(PyExc_TypeError, "_counters must be a dict");
+        goto fail;
+    }
+    self->count_meth = PyObject_GetAttrString(ctrl, "count");
+    if (self->count_meth == NULL)
+        goto fail;
+    self->writebacks_dict = PyObject_GetAttrString(ctrl, "writebacks");
+    if (self->writebacks_dict == NULL ||
+        !PyDict_Check(self->writebacks_dict)) {
+        if (!PyErr_Occurred())
+            PyErr_SetString(PyExc_TypeError, "writebacks must be a dict");
+        goto fail;
+    }
+    self->forwards_dict = PyObject_GetAttrString(ctrl, "_pending_forwards");
+    if (self->forwards_dict == NULL || !PyDict_Check(self->forwards_dict)) {
+        if (!PyErr_Occurred())
+            PyErr_SetString(PyExc_TypeError,
+                            "_pending_forwards must be a dict");
+        goto fail;
+    }
+    self->passed_set = PyObject_GetAttrString(ctrl, "_ownership_passed");
+    if (self->passed_set == NULL || !PyAnySet_Check(self->passed_set)) {
+        if (!PyErr_Occurred())
+            PyErr_SetString(PyExc_TypeError,
+                            "_ownership_passed must be a set");
+        goto fail;
+    }
+    self->complete_cb = PyObject_GetAttrString(ctrl, "_complete_current");
+    if (self->complete_cb == NULL)
+        goto fail;
+    self->pure_issue = PyObject_GetAttrString(ctrl, "_issue_transaction");
+    if (self->pure_issue == NULL)
+        goto fail;
+    self->retry_meth = PyObject_GetAttrString(ctrl, "_retry_issue");
+    if (self->retry_meth == NULL)
+        goto fail;
+    self->pure_install = PyObject_GetAttrString(ctrl, "_install_line");
+    if (self->pure_install == NULL)
+        goto fail;
+    self->finish_meth = PyObject_GetAttrString(ctrl, "_finish");
+    if (self->finish_meth == NULL)
+        goto fail;
+    self->timeout_meth = PyObject_GetAttrString(ctrl, "_transaction_timeout");
+    if (self->timeout_meth == NULL)
+        goto fail;
+    self->corner_meth = PyObject_GetAttrString(ctrl, "_corner_case");
+    if (self->corner_meth == NULL)
+        goto fail;
+    self->forwards_meth = PyObject_GetAttrString(ctrl,
+                                                 "_process_pending_forwards");
+    if (self->forwards_meth == NULL)
+        goto fail;
+    self->zero_obj = PyLong_FromLong(0);
+    if (self->zero_obj == NULL)
+        goto fail;
+
+    CSnoopFinishThunk *ft = PyObject_GC_New(CSnoopFinishThunk,
+                                            &CSnoopFinishThunk_Type);
+    if (ft == NULL)
+        goto fail;
+    ft->request = NULL;
+    ft->cb = NULL;
+    Py_INCREF(self);
+    ft->core = self;
+    PyObject_GC_Track((PyObject *)ft);
+    self->finish_thunk = (PyObject *)ft;
+
+    CSnoopTimeoutThunk *tt = PyObject_GC_New(CSnoopTimeoutThunk,
+                                             &CSnoopTimeoutThunk_Type);
+    if (tt == NULL)
+        goto fail;
+    tt->txn = NULL;
+    Py_INCREF(self);
+    tt->core = self;
+    PyObject_GC_Track((PyObject *)tt);
+    self->timeout_thunk = (PyObject *)tt;
+    return (PyObject *)self;
+
+fail:
+    Py_DECREF(self);
+    return NULL;
+}
+
+/* ------------------------------------------------------------- helpers */
+
+/* The set holding `addr` (borrowed). */
+static inline PyObject *
+snoop_set_for(CSnoopCore *self, long long addr)
+{
+    return PyList_GET_ITEM(
+        self->l2_sets, (Py_ssize_t)((addr / self->l2_block) % self->l2_nsets));
+}
+
+/* CacheArray.set_state(addr, Invalid) on a line known present: state
+ * first, then the value undo record, then the state undo record, then
+ * the removal (the exact pure ordering the recovery log depends on). */
+static int
+snoop_invalidate(CSnoopCore *self, PyObject *set, PyObject *line,
+                 PyObject *addr_obj)
+{
+    Py_INCREF(line);
+    PyObject *old = PyObject_GetAttr(line, PS.state);
+    if (old == NULL) {
+        Py_DECREF(line);
+        return -1;
+    }
+    if (PyObject_SetAttr(line, PS.state, self->invalid_state) < 0)
+        goto fail;
+    PyObject *val = PyObject_GetAttr(line, S.value);
+    if (val == NULL)
+        goto fail;
+    int rc = txn_notify(self->observer, addr_obj, S.value, val, Py_None);
+    Py_DECREF(val);
+    if (rc < 0)
+        goto fail;
+    if (txn_notify(self->observer, addr_obj, PS.state, old,
+                   self->invalid_state) < 0)
+        goto fail;
+    Py_DECREF(old);
+    Py_DECREF(line);
+    return PyDict_DelItem(set, addr_obj);
+
+fail:
+    Py_DECREF(old);
+    Py_DECREF(line);
+    return -1;
+}
+
+/* _supply(request, value): count and schedule the data delivery. */
+static int
+snoop_supply(CSnoopCore *self, PyObject *request, PyObject *value)
+{
+    if (comp_count(self->counters_dict, self->count_meth,
+                   SN.cache_to_cache_transfers) < 0)
+        return -1;
+    PyObject *dst = PyObject_GetAttr(request, SN.requestor);
+    if (dst == NULL)
+        return -1;
+    PyObject *addr = PyObject_GetAttr(request, PS.address);
+    if (addr == NULL) {
+        Py_DECREF(dst);
+        return -1;
+    }
+    CSupplyThunk *t = PyObject_GC_New(CSupplyThunk, &CSupplyThunk_Type);
+    if (t == NULL) {
+        Py_DECREF(dst);
+        Py_DECREF(addr);
+        return -1;
+    }
+    Py_INCREF(self->deliver);
+    t->deliver = self->deliver;
+    t->dst = dst;               /* reference transferred */
+    t->addr = addr;             /* reference transferred */
+    PyObject *v = (value == Py_None) ? self->zero_obj : value;
+    Py_INCREF(v);
+    t->value = v;
+    PyObject_GC_Track((PyObject *)t);
+    PyObject *ev = queue_push_internal(self->cqueue,
+                                       self->sim->now + self->c2c_cycles, 0,
+                                       (PyObject *)t, self->name_obj);
+    Py_DECREF(t);
+    if (ev == NULL)
+        return -1;
+    Py_DECREF(ev);
+    return 0;
+}
+
+/* _finish(request, on_complete, l2_hit_cycles): arm the reusable thunk
+ * (fall back to the pure method if it is somehow busy). */
+static int
+snoop_finish_schedule(CSnoopCore *self, PyObject *request,
+                      PyObject *on_complete)
+{
+    CSnoopFinishThunk *ft = (CSnoopFinishThunk *)self->finish_thunk;
+    if (ft->request != NULL) {
+        PyObject *res = PyObject_CallFunctionObjArgs(
+            self->finish_meth, request, on_complete, self->l2_hit_obj, NULL);
+        if (res == NULL)
+            return -1;
+        Py_DECREF(res);
+        return 0;
+    }
+    Py_INCREF(request);
+    ft->request = request;
+    Py_INCREF(on_complete);
+    ft->cb = on_complete;
+    PyObject *ev = queue_push_internal(self->cqueue,
+                                       self->sim->now + self->l2_hit_cycles,
+                                       0, (PyObject *)ft, self->name_obj);
+    if (ev == NULL)
+        return -1;
+    Py_DECREF(ev);
+    return 0;
+}
+
+/* _pending_store_txn(address): 1 when our outstanding, already-ordered
+ * RequestReadWrite for `address` still owes forwards. */
+static int
+snoop_pending_store(CSnoopCore *self, PyObject *txn, PyObject *addr_obj)
+{
+    if (txn == Py_None)
+        return 0;
+    PyObject *taddr = PyObject_GetAttr(txn, PS.address);
+    if (taddr == NULL)
+        return -1;
+    int same = PyObject_RichCompareBool(taddr, addr_obj, Py_EQ);
+    Py_DECREF(taddr);
+    if (same <= 0)
+        return same;
+    PyObject *tmp = PyObject_GetAttr(txn, TS.completed);
+    if (tmp == NULL)
+        return -1;
+    int truth = PyObject_IsTrue(tmp);
+    Py_DECREF(tmp);
+    if (truth != 0)
+        return truth < 0 ? -1 : 0;
+    PyObject *op = PyObject_GetAttr(txn, TS.op);
+    if (op == NULL)
+        return -1;
+    int is_store = (op == self->store_op);
+    Py_DECREF(op);
+    if (!is_store)
+        return 0;
+    tmp = PyObject_GetAttr(txn, TS.data_received);
+    if (tmp == NULL)
+        return -1;
+    truth = PyObject_IsTrue(tmp);
+    Py_DECREF(tmp);
+    if (truth != 0)
+        return truth < 0 ? -1 : 0;
+    tmp = PyObject_GetAttr(txn, SN.bus_ordered);
+    if (tmp == NULL)
+        return -1;
+    truth = PyObject_IsTrue(tmp);
+    Py_DECREF(tmp);
+    if (truth <= 0)
+        return truth;
+    int in = PySet_Contains(self->passed_set, addr_obj);
+    if (in < 0)
+        return -1;
+    return in ? 0 : 1;
+}
+
+/* The ordered-load late-invalidate test of _snoop_foreign_getx. */
+static int
+snoop_pending_ordered_load(CSnoopCore *self, PyObject *txn,
+                           PyObject *addr_obj)
+{
+    if (txn == Py_None)
+        return 0;
+    PyObject *taddr = PyObject_GetAttr(txn, PS.address);
+    if (taddr == NULL)
+        return -1;
+    int same = PyObject_RichCompareBool(taddr, addr_obj, Py_EQ);
+    Py_DECREF(taddr);
+    if (same <= 0)
+        return same;
+    PyObject *tmp = PyObject_GetAttr(txn, TS.completed);
+    if (tmp == NULL)
+        return -1;
+    int truth = PyObject_IsTrue(tmp);
+    Py_DECREF(tmp);
+    if (truth != 0)
+        return truth < 0 ? -1 : 0;
+    PyObject *op = PyObject_GetAttr(txn, TS.op);
+    if (op == NULL)
+        return -1;
+    int is_load = (op == self->load_op);
+    Py_DECREF(op);
+    if (!is_load)
+        return 0;
+    tmp = PyObject_GetAttr(txn, SN.bus_ordered);
+    if (tmp == NULL)
+        return -1;
+    truth = PyObject_IsTrue(tmp);
+    Py_DECREF(tmp);
+    if (truth <= 0)
+        return truth;
+    tmp = PyObject_GetAttr(txn, TS.data_received);
+    if (tmp == NULL)
+        return -1;
+    truth = PyObject_IsTrue(tmp);
+    Py_DECREF(tmp);
+    if (truth < 0)
+        return -1;
+    return truth ? 0 : 1;
+}
+
+/* _pending_forwards.setdefault(addr, []).append(request). */
+static int
+snoop_defer_forward(CSnoopCore *self, PyObject *addr_obj, PyObject *request)
+{
+    PyObject *lst = PyDict_GetItemWithError(self->forwards_dict, addr_obj);
+    if (lst != NULL)
+        return PyList_Append(lst, request);
+    if (PyErr_Occurred())
+        return -1;
+    lst = PyList_New(0);
+    if (lst == NULL)
+        return -1;
+    int rc = PyDict_SetItem(self->forwards_dict, addr_obj, lst);
+    if (rc == 0)
+        rc = PyList_Append(lst, request);
+    Py_DECREF(lst);
+    return rc;
+}
+
+/* _transaction_done for the controller's single outstanding transaction
+ * (inlined _complete_current). */
+static int
+snoop_txn_done(CSnoopCore *self, PyObject *txn)
+{
+    if (PyObject_SetAttr(self->ctrl, TS.transaction, Py_None) < 0)
+        return -1;
+    PyObject *res = PyObject_CallOneArg(self->on_retire, self->node_obj);
+    if (res == NULL)
+        return -1;
+    Py_DECREF(res);
+    if (comp_count(self->counters_dict, self->count_meth,
+                   TS.transactions_completed) < 0)
+        return -1;
+    PyObject *request = PyObject_GetAttr(self->ctrl, TS.pending_request);
+    if (request == NULL)
+        return -1;
+    PyObject *oc = PyObject_GetAttr(self->ctrl, TS.pending_on_complete);
+    if (oc == NULL) {
+        Py_DECREF(request);
+        return -1;
+    }
+    PyObject *taddr_obj = PyObject_GetAttr(txn, PS.address);
+    if (taddr_obj == NULL)
+        goto fail_oc;
+    long long taddr = PyLong_AsLongLong(taddr_obj);
+    if (taddr == -1 && PyErr_Occurred())
+        goto fail_addr;
+    PyObject *set = snoop_set_for(self, taddr);
+    PyObject *line = PyDict_GetItemWithError(set, taddr_obj);
+    if (line == NULL && PyErr_Occurred())
+        goto fail_addr;
+    PyObject *req_op = PyObject_GetAttr(request, TS.op);
+    if (req_op == NULL)
+        goto fail_addr;
+    if (req_op == self->store_op) {
+        Py_DECREF(req_op);
+        if (line != NULL) {
+            PyObject *rvalue = PyObject_GetAttr(request, S.value);
+            if (rvalue == NULL)
+                goto fail_addr;
+            if (rvalue != Py_None &&
+                txn_set_value(self->observer, line, taddr_obj, rvalue) < 0) {
+                Py_DECREF(rvalue);
+                goto fail_addr;
+            }
+            Py_DECREF(rvalue);
+        }
+    }
+    else {
+        Py_DECREF(req_op);
+        PyObject *lvalue = NULL;
+        if (line != NULL) {
+            lvalue = PyObject_GetAttr(line, S.value);
+            if (lvalue == NULL)
+                goto fail_addr;
+        }
+        if (lvalue == NULL || lvalue == Py_None) {
+            /* Late-invalidated load: the data satisfied the load but the
+             * line was not retained. */
+            Py_XDECREF(lvalue);
+            lvalue = PyObject_GetAttr(txn, SN.value_hint);
+            if (lvalue == NULL)
+                goto fail_addr;
+        }
+        int rc = PyObject_SetAttr(request, S.value, lvalue);
+        Py_DECREF(lvalue);
+        if (rc < 0)
+            goto fail_addr;
+    }
+    if (setattr_ll(request, TS.completed_at, self->sim->now) < 0)
+        goto fail_addr;
+    res = PyObject_CallOneArg(oc, request);
+    Py_DECREF(oc);
+    Py_DECREF(request);
+    Py_DECREF(taddr_obj);
+    if (res == NULL)
+        return -1;
+    Py_DECREF(res);
+    return 0;
+
+fail_addr:
+    Py_DECREF(taddr_obj);
+fail_oc:
+    Py_DECREF(oc);
+    Py_DECREF(request);
+    return -1;
+}
+
+/* _install_line fast path: upgrade-in-place and fresh-allocate into a
+ * non-full set; the full-set case (victim choice + eviction + retry)
+ * falls back to the pure method. */
+static int
+snoop_install(CSnoopCore *self, PyObject *txn, PyObject *value,
+              PyObject *addr_obj, long long addr)
+{
+    PyObject *op = PyObject_GetAttr(txn, TS.op);
+    if (op == NULL)
+        return -1;
+    PyObject *target = (op == self->load_op) ? self->shared_state
+                                             : self->modified_state;
+    Py_DECREF(op);
+    PyObject *set = snoop_set_for(self, addr);
+    PyObject *existing = PyDict_GetItemWithError(set, addr_obj);
+    if (existing == NULL && PyErr_Occurred())
+        return -1;
+    if (existing != NULL) {
+        if (txn_set_state(self->observer, existing, addr_obj, target) < 0)
+            return -1;
+        return txn_set_value(self->observer, existing, addr_obj, value);
+    }
+    if (PyDict_GET_SIZE(set) >= (Py_ssize_t)self->assoc) {
+        PyObject *res = PyObject_CallFunctionObjArgs(
+            self->pure_install, txn, value, NULL);
+        if (res == NULL)
+            return -1;
+        Py_DECREF(res);
+        return 0;
+    }
+    /* CacheArray.allocate into a non-full set. */
+    long long tick;
+    if (getattr_ll(self->cache, TS.tick, &tick) < 0)
+        return -1;
+    tick += 1;
+    if (setattr_ll(self->cache, TS.tick, tick) < 0)
+        return -1;
+    PyObject *tick_obj = PyLong_FromLongLong(tick);
+    if (tick_obj == NULL)
+        return -1;
+    PyObject *line = PyObject_CallFunctionObjArgs(
+        self->line_cls, addr_obj, target, value, tick_obj, NULL);
+    Py_DECREF(tick_obj);
+    if (line == NULL)
+        return -1;
+    int rc = PyDict_SetItem(set, addr_obj, line);
+    Py_DECREF(line);
+    if (rc < 0)
+        return -1;
+    if (txn_notify(self->observer, addr_obj, PS.state, self->invalid_state,
+                   target) < 0)
+        return -1;
+    if (value != Py_None &&
+        txn_notify(self->observer, addr_obj, S.value, Py_None, value) < 0)
+        return -1;
+    return 0;
+}
+
+/* receive_data(address, value): install + complete + pending forwards. */
+static int
+snoop_receive_impl(CSnoopCore *self, PyObject *addr_obj, PyObject *value)
+{
+    PyObject *txn = PyObject_GetAttr(self->ctrl, TS.transaction);
+    if (txn == NULL)
+        return -1;
+    int stale = (txn == Py_None);
+    if (!stale) {
+        PyObject *taddr = PyObject_GetAttr(txn, PS.address);
+        if (taddr == NULL)
+            goto fail;
+        int differs = PyObject_RichCompareBool(taddr, addr_obj, Py_NE);
+        Py_DECREF(taddr);
+        if (differs < 0)
+            goto fail;
+        stale = differs;
+    }
+    if (!stale) {
+        PyObject *tmp = PyObject_GetAttr(txn, TS.completed);
+        if (tmp == NULL)
+            goto fail;
+        stale = PyObject_IsTrue(tmp);
+        Py_DECREF(tmp);
+        if (stale < 0)
+            goto fail;
+    }
+    if (stale) {
+        Py_DECREF(txn);
+        return comp_count(self->counters_dict, self->count_meth,
+                          SN.stale_data);
+    }
+    PyObject *tmp = PyObject_GetAttr(txn, TS.data_received);
+    if (tmp == NULL)
+        goto fail;
+    int dup = PyObject_IsTrue(tmp);
+    Py_DECREF(tmp);
+    if (dup < 0)
+        goto fail;
+    if (dup) {
+        Py_DECREF(txn);
+        return comp_count(self->counters_dict, self->count_meth,
+                          SN.duplicate_data);
+    }
+    if (PyObject_SetAttr(txn, TS.data_received, Py_True) < 0 ||
+        PyObject_SetAttr(txn, SN.value_hint, value) < 0)
+        goto fail;
+    long long addr = PyLong_AsLongLong(addr_obj);
+    if (addr == -1 && PyErr_Occurred())
+        goto fail;
+    if (snoop_install(self, txn, value, addr_obj, addr) < 0)
+        goto fail;
+    /* Late invalidate: keep the value for this one load, drop the line. */
+    PyObject *flag = PyObject_GetAttr(txn, SN.invalidate_on_install);
+    if (flag == NULL)
+        goto fail;
+    int inval = PyObject_IsTrue(flag);
+    Py_DECREF(flag);
+    if (inval < 0)
+        goto fail;
+    if (inval) {
+        PyObject *set = snoop_set_for(self, addr);
+        PyObject *line = PyDict_GetItemWithError(set, addr_obj);
+        if (line == NULL && PyErr_Occurred())
+            goto fail;
+        if (line != NULL && snoop_invalidate(self, set, line, addr_obj) < 0)
+            goto fail;
+    }
+    /* Transaction.complete(). */
+    tmp = PyObject_GetAttr(txn, TS.completed);
+    if (tmp == NULL)
+        goto fail;
+    int done = PyObject_IsTrue(tmp);
+    Py_DECREF(tmp);
+    if (done < 0)
+        goto fail;
+    if (!done) {
+        if (PyObject_SetAttr(txn, TS.completed, Py_True) < 0)
+            goto fail;
+        PyObject *te = PyObject_GetAttr(txn, TS.timeout_event);
+        if (te == NULL)
+            goto fail;
+        if (te != Py_None) {
+            PyObject *res = PyObject_CallMethodNoArgs(te, TS.cancel);
+            Py_DECREF(te);
+            if (res == NULL)
+                goto fail;
+            Py_DECREF(res);
+            if (PyObject_SetAttr(txn, TS.timeout_event, Py_None) < 0)
+                goto fail;
+        }
+        else
+            Py_DECREF(te);
+        PyObject *oc = PyObject_GetAttr(txn, TS.on_complete_attr);
+        if (oc == NULL)
+            goto fail;
+        if (oc == self->complete_cb) {
+            Py_DECREF(oc);
+            if (snoop_txn_done(self, txn) < 0)
+                goto fail;
+        }
+        else if (oc != Py_None) {
+            /* A transaction issued by the pure path (slow-start retry)
+             * completes through its own bound _complete_current. */
+            PyObject *res = PyObject_CallOneArg(oc, txn);
+            Py_DECREF(oc);
+            if (res == NULL)
+                goto fail;
+            Py_DECREF(res);
+        }
+        else
+            Py_DECREF(oc);
+    }
+    /* _process_pending_forwards: the pure method pops + supplies; when
+     * nothing is pending only the ownership-passed entry is dropped. */
+    if (PyDict_GET_SIZE(self->forwards_dict) != 0) {
+        PyObject *pending = PyDict_GetItemWithError(self->forwards_dict,
+                                                    addr_obj);
+        if (pending == NULL && PyErr_Occurred())
+            goto fail;
+        if (pending != NULL) {
+            PyObject *res = PyObject_CallOneArg(self->forwards_meth,
+                                                addr_obj);
+            if (res == NULL)
+                goto fail;
+            Py_DECREF(res);
+            Py_DECREF(txn);
+            return 0;
+        }
+    }
+    if (PySet_Discard(self->passed_set, addr_obj) < 0)
+        goto fail;
+    Py_DECREF(txn);
+    return 0;
+
+fail:
+    Py_DECREF(txn);
+    return -1;
+}
+
+/* _issue_transaction fast path.  Caller guarantees ctrl.transaction is
+ * None (it routes to the pure method otherwise, which raises). */
+static int
+snoop_issue(CSnoopCore *self, PyObject *request, PyObject *on_complete,
+            PyObject *addr_obj, int is_load)
+{
+    PyObject *gate = PyObject_CallOneArg(self->may_issue, self->node_obj);
+    if (gate == NULL)
+        return -1;
+    int allowed = PyObject_IsTrue(gate);
+    Py_DECREF(gate);
+    if (allowed < 0)
+        return -1;
+    if (!allowed) {
+        PyObject *res = PyObject_CallFunctionObjArgs(
+            self->retry_meth, request, on_complete, NULL);
+        if (res == NULL)
+            return -1;
+        Py_DECREF(res);
+        return 0;
+    }
+    PyObject *now_obj = PyLong_FromLongLong(self->sim->now);
+    if (now_obj == NULL)
+        return -1;
+    PyObject *op = PyObject_GetAttr(request, TS.op);
+    if (op == NULL) {
+        Py_DECREF(now_obj);
+        return -1;
+    }
+    PyObject *txn = PyObject_CallFunctionObjArgs(
+        self->txn_cls, self->node_obj, addr_obj, op, now_obj, NULL);
+    Py_DECREF(op);
+    Py_DECREF(now_obj);
+    if (txn == NULL)
+        return -1;
+    if (PyObject_SetAttr(self->ctrl, TS.pending_request, request) < 0 ||
+        PyObject_SetAttr(self->ctrl, TS.pending_on_complete,
+                         on_complete) < 0 ||
+        PyObject_SetAttr(txn, TS.on_complete_attr, self->complete_cb) < 0 ||
+        PyObject_SetAttr(self->ctrl, TS.transaction, txn) < 0)
+        goto fail;
+
+    PyObject *tc = PyObject_GetAttr(self->ctrl, TS.timeout_cycles);
+    if (tc == NULL)
+        goto fail;
+    if (tc != Py_None) {
+        long long cycles = PyLong_AsLongLong(tc);
+        Py_DECREF(tc);
+        if (cycles == -1 && PyErr_Occurred())
+            goto fail;
+        CSnoopTimeoutThunk *tt = (CSnoopTimeoutThunk *)self->timeout_thunk;
+        Py_INCREF(txn);
+        Py_XSETREF(tt->txn, txn);
+        PyObject *ev = queue_push_internal(self->cqueue,
+                                           self->sim->now + cycles, 0,
+                                           (PyObject *)tt, self->name_obj);
+        if (ev == NULL)
+            goto fail;
+        int rc = PyObject_SetAttr(txn, TS.timeout_event, ev);
+        Py_DECREF(ev);
+        if (rc < 0)
+            goto fail;
+    }
+    else
+        Py_DECREF(tc);
+
+    PyObject *busreq = PyObject_CallFunctionObjArgs(
+        self->busreq_cls, self->node_obj, addr_obj,
+        is_load ? self->gets_type : self->getx_type, NULL);
+    if (busreq == NULL)
+        goto fail;
+    PyObject *res = PyObject_CallOneArg(self->bus_issue, busreq);
+    Py_DECREF(busreq);
+    if (res == NULL)
+        goto fail;
+    Py_DECREF(res);
+    if (comp_count(self->counters_dict, self->count_meth,
+                   TS.transactions_issued) < 0)
+        goto fail;
+    Py_DECREF(txn);
+    return 0;
+
+fail:
+    Py_DECREF(txn);
+    return -1;
+}
+
+/* access(request, on_complete): the snooping controller's entry point. */
+static PyObject *
+SnoopCore_access(CSnoopCore *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "access expects (request, on_complete)");
+        return NULL;
+    }
+    PyObject *request = args[0];
+    PyObject *on_complete = args[1];
+    if (setattr_ll(request, PS.issued_at, self->sim->now) < 0)
+        return NULL;
+    PyObject *addr_obj = PyObject_GetAttr(request, PS.address);
+    if (addr_obj == NULL)
+        return NULL;
+    long long addr = PyLong_AsLongLong(addr_obj);
+    if (addr == -1 && PyErr_Occurred())
+        goto fail;
+    PyObject *set = snoop_set_for(self, addr);
+    PyObject *line = PyDict_GetItemWithError(set, addr_obj);  /* borrowed */
+    if (line == NULL && PyErr_Occurred())
+        goto fail;
+    PyObject *state = NULL;  /* new ref */
+    if (line != NULL) {
+        /* lookup() touches LRU state. */
+        long long tick;
+        if (getattr_ll(self->cache, TS.tick, &tick) < 0)
+            goto fail;
+        tick += 1;
+        if (setattr_ll(self->cache, TS.tick, tick) < 0 ||
+            setattr_ll(line, TS.last_used, tick) < 0)
+            goto fail;
+        state = PyObject_GetAttr(line, PS.state);
+        if (state == NULL)
+            goto fail;
+    }
+    else {
+        state = self->invalid_state;
+        Py_INCREF(state);
+    }
+    PyObject *op = PyObject_GetAttr(request, TS.op);
+    if (op == NULL) {
+        Py_DECREF(state);
+        goto fail;
+    }
+    int is_load = (op == self->load_op);
+    Py_DECREF(op);
+
+    if (is_load && state != self->invalid_state) {
+        /* Load hit: any valid state has readable data. */
+        Py_DECREF(state);
+        if (addattr_ll(self->cache, PS.hits, 1) < 0 ||
+            comp_count(self->counters_dict, self->count_meth,
+                       TS.load_hits) < 0)
+            goto fail;
+        PyObject *lvalue = PyObject_GetAttr(line, S.value);
+        if (lvalue == NULL)
+            goto fail;
+        int rc = PyObject_SetAttr(request, S.value, lvalue);
+        Py_DECREF(lvalue);
+        if (rc < 0)
+            goto fail;
+        if (snoop_finish_schedule(self, request, on_complete) < 0)
+            goto fail;
+        Py_DECREF(addr_obj);
+        Py_RETURN_NONE;
+    }
+    if (!is_load &&
+        (state == self->modified_state || state == self->exclusive_state)) {
+        /* Store hit with write permission. */
+        if (addattr_ll(self->cache, PS.hits, 1) < 0 ||
+            comp_count(self->counters_dict, self->count_meth,
+                       TS.store_hits) < 0) {
+            Py_DECREF(state);
+            goto fail;
+        }
+        if (state == self->exclusive_state &&
+            txn_set_state(self->observer, line, addr_obj,
+                          self->modified_state) < 0) {
+            Py_DECREF(state);
+            goto fail;
+        }
+        Py_DECREF(state);
+        PyObject *rvalue = PyObject_GetAttr(request, S.value);
+        if (rvalue == NULL)
+            goto fail;
+        int rc = txn_set_value(self->observer, line, addr_obj, rvalue);
+        Py_DECREF(rvalue);
+        if (rc < 0)
+            goto fail;
+        if (snoop_finish_schedule(self, request, on_complete) < 0)
+            goto fail;
+        Py_DECREF(addr_obj);
+        Py_RETURN_NONE;
+    }
+    Py_DECREF(state);
+
+    /* Miss. */
+    if (addattr_ll(self->cache, TS.misses, 1) < 0 ||
+        comp_count(self->counters_dict, self->count_meth,
+                   is_load ? TS.load_misses : TS.store_misses) < 0)
+        goto fail;
+    PyObject *txn = PyObject_GetAttr(self->ctrl, TS.transaction);
+    if (txn == NULL)
+        goto fail;
+    if (txn != Py_None) {
+        /* Busy controller: the pure method raises the protocol error. */
+        Py_DECREF(txn);
+        PyObject *res = PyObject_CallFunctionObjArgs(
+            self->pure_issue, request, on_complete, NULL);
+        if (res == NULL)
+            goto fail;
+        Py_DECREF(res);
+        Py_DECREF(addr_obj);
+        Py_RETURN_NONE;
+    }
+    Py_DECREF(txn);
+    if (snoop_issue(self, request, on_complete, addr_obj, is_load) < 0)
+        goto fail;
+    Py_DECREF(addr_obj);
+    Py_RETURN_NONE;
+
+fail:
+    Py_DECREF(addr_obj);
+    return NULL;
+}
+
+/* snoop(request) -> bool: own-request ordering + foreign MOESI snoops. */
+static PyObject *
+SnoopCore_snoop(CSnoopCore *self, PyObject *request)
+{
+    PyObject *req_node = PyObject_GetAttr(request, SN.requestor);
+    if (req_node == NULL)
+        return NULL;
+    int own = PyObject_RichCompareBool(req_node, self->node_obj, Py_EQ);
+    Py_DECREF(req_node);
+    if (own < 0)
+        return NULL;
+    PyObject *rtype = PyObject_GetAttr(request, SN.rtype);
+    if (rtype == NULL)
+        return NULL;
+    PyObject *addr_obj = PyObject_GetAttr(request, PS.address);
+    if (addr_obj == NULL) {
+        Py_DECREF(rtype);
+        return NULL;
+    }
+    PyObject *result = NULL;
+
+    if (own) {
+        if (rtype == self->wb_type) {
+            /* Own writeback ordered on the bus. */
+            PyObject *record = PyDict_GetItemWithError(self->writebacks_dict,
+                                                       addr_obj);
+            if (record == NULL && PyErr_Occurred())
+                goto done;
+            if (record != NULL) {
+                if (PyDict_DelItem(self->writebacks_dict, addr_obj) < 0)
+                    goto done;
+                if (comp_count(self->counters_dict, self->count_meth,
+                               SN.writebacks_ordered) < 0)
+                    goto done;
+            }
+            result = Py_False;
+            goto done;
+        }
+        PyObject *txn = PyObject_GetAttr(self->ctrl, TS.transaction);
+        if (txn == NULL)
+            goto done;
+        int matches = 0;
+        if (txn != Py_None) {
+            PyObject *taddr = PyObject_GetAttr(txn, PS.address);
+            if (taddr == NULL) {
+                Py_DECREF(txn);
+                goto done;
+            }
+            matches = PyObject_RichCompareBool(taddr, addr_obj, Py_EQ);
+            Py_DECREF(taddr);
+            if (matches < 0) {
+                Py_DECREF(txn);
+                goto done;
+            }
+        }
+        if (!matches) {
+            Py_DECREF(txn);
+            result = Py_False;
+            goto done;
+        }
+        if (comp_count(self->counters_dict, self->count_meth,
+                       SN.own_request_ordered) < 0 ||
+            PyObject_SetAttr(txn, SN.bus_ordered, Py_True) < 0) {
+            Py_DECREF(txn);
+            goto done;
+        }
+        Py_DECREF(txn);
+        long long addr = PyLong_AsLongLong(addr_obj);
+        if (addr == -1 && PyErr_Occurred())
+            goto done;
+        PyObject *set = snoop_set_for(self, addr);
+        PyObject *line = PyDict_GetItemWithError(set, addr_obj);
+        if (line == NULL && PyErr_Occurred())
+            goto done;
+        if (line != NULL) {
+            PyObject *state = PyObject_GetAttr(line, PS.state);
+            if (state == NULL)
+                goto done;
+            int valid = (state != self->invalid_state);
+            Py_DECREF(state);
+            if (valid) {
+                /* Hit own valid copy at order time: self-deliver at +1. */
+                PyObject *lvalue = PyObject_GetAttr(line, S.value);
+                if (lvalue == NULL)
+                    goto done;
+                if (lvalue == Py_None)
+                    Py_SETREF(lvalue, Py_NewRef(self->zero_obj));
+                CSnoopRecvThunk *rt = PyObject_GC_New(CSnoopRecvThunk,
+                                                      &CSnoopRecvThunk_Type);
+                if (rt == NULL) {
+                    Py_DECREF(lvalue);
+                    goto done;
+                }
+                Py_INCREF(self);
+                rt->core = self;
+                Py_INCREF(addr_obj);
+                rt->addr = addr_obj;
+                rt->value = lvalue;  /* steal */
+                PyObject_GC_Track((PyObject *)rt);
+                PyObject *ev = queue_push_internal(self->cqueue,
+                                                   self->sim->now + 1, 0,
+                                                   (PyObject *)rt,
+                                                   self->name_obj);
+                Py_DECREF(rt);
+                if (ev == NULL)
+                    goto done;
+                Py_DECREF(ev);
+                result = Py_True;
+                goto done;
+            }
+        }
+        result = Py_False;
+        goto done;
+    }
+
+    /* Foreign request. */
+    if (rtype == self->wb_type) {
+        result = Py_False;
+        goto done;
+    }
+    long long addr = PyLong_AsLongLong(addr_obj);
+    if (addr == -1 && PyErr_Occurred())
+        goto done;
+    PyObject *set = snoop_set_for(self, addr);
+    PyObject *line = PyDict_GetItemWithError(set, addr_obj);  /* borrowed */
+    if (line == NULL && PyErr_Occurred())
+        goto done;
+    PyObject *state;  /* new ref */
+    if (line != NULL) {
+        Py_INCREF(line);  /* hold across invalidation */
+        state = PyObject_GetAttr(line, PS.state);
+        if (state == NULL) {
+            Py_DECREF(line);
+            goto done;
+        }
+    }
+    else {
+        state = self->invalid_state;
+        Py_INCREF(state);
+    }
+    PyObject *record = PyDict_GetItemWithError(self->writebacks_dict,
+                                               addr_obj);
+    if (record == NULL && PyErr_Occurred()) {
+        Py_XDECREF(line);
+        Py_DECREF(state);
+        goto done;
+    }
+    Py_XINCREF(record);
+    int is_owner = (state == self->modified_state ||
+                    state == self->owned_state ||
+                    state == self->exclusive_state);
+
+    if (rtype == self->gets_type) {
+        if (is_owner) {
+            if ((state == self->modified_state ||
+                 state == self->exclusive_state) &&
+                txn_set_state(self->observer, line, addr_obj,
+                              self->owned_state) < 0)
+                goto fail_foreign;
+            PyObject *lvalue = PyObject_GetAttr(line, S.value);
+            if (lvalue == NULL)
+                goto fail_foreign;
+            int rc = snoop_supply(self, request, lvalue);
+            Py_DECREF(lvalue);
+            if (rc < 0)
+                goto fail_foreign;
+            result = Py_True;
+            goto done_foreign;
+        }
+        if (record != NULL) {
+            PyObject *phase = PyObject_GetAttr(record, SN.phase);
+            if (phase == NULL)
+                goto fail_foreign;
+            int waiting = (phase == self->waiting_phase);
+            Py_DECREF(phase);
+            if (waiting) {
+                PyObject *rvalue = PyObject_GetAttr(record, S.value);
+                if (rvalue == NULL)
+                    goto fail_foreign;
+                int rc = snoop_supply(self, request, rvalue);
+                Py_DECREF(rvalue);
+                if (rc < 0)
+                    goto fail_foreign;
+                result = Py_True;
+                goto done_foreign;
+            }
+        }
+        PyObject *txn = PyObject_GetAttr(self->ctrl, TS.transaction);
+        if (txn == NULL)
+            goto fail_foreign;
+        int pending = snoop_pending_store(self, txn, addr_obj);
+        Py_DECREF(txn);
+        if (pending < 0)
+            goto fail_foreign;
+        if (pending) {
+            if (snoop_defer_forward(self, addr_obj, request) < 0 ||
+                comp_count(self->counters_dict, self->count_meth,
+                           SN.forwards_deferred) < 0)
+                goto fail_foreign;
+            result = Py_True;
+            goto done_foreign;
+        }
+        result = Py_False;
+        goto done_foreign;
+    }
+
+    /* GETX */
+    {
+        int supplied = 0;
+        if (is_owner) {
+            PyObject *lvalue = PyObject_GetAttr(line, S.value);
+            if (lvalue == NULL)
+                goto fail_foreign;
+            int rc = snoop_supply(self, request, lvalue);
+            Py_DECREF(lvalue);
+            if (rc < 0)
+                goto fail_foreign;
+            supplied = 1;
+        }
+        if (state != self->invalid_state) {
+            if (snoop_invalidate(self, set, line, addr_obj) < 0)
+                goto fail_foreign;
+        }
+        PyObject *txn = PyObject_GetAttr(self->ctrl, TS.transaction);
+        if (txn == NULL)
+            goto fail_foreign;
+        int pending = snoop_pending_store(self, txn, addr_obj);
+        if (pending < 0) {
+            Py_DECREF(txn);
+            goto fail_foreign;
+        }
+        if (pending) {
+            /* Our pending store will win the line later; remember that
+             * ownership already passed to this requestor. */
+            if (snoop_defer_forward(self, addr_obj, request) < 0 ||
+                PySet_Add(self->passed_set, addr_obj) < 0 ||
+                comp_count(self->counters_dict, self->count_meth,
+                           SN.forwards_deferred) < 0) {
+                Py_DECREF(txn);
+                goto fail_foreign;
+            }
+            supplied = 1;
+        }
+        else {
+            int ordered_load = snoop_pending_ordered_load(self, txn,
+                                                          addr_obj);
+            if (ordered_load < 0) {
+                Py_DECREF(txn);
+                goto fail_foreign;
+            }
+            if (ordered_load) {
+                if (PyObject_SetAttr(txn, SN.invalidate_on_install,
+                                     Py_True) < 0 ||
+                    comp_count(self->counters_dict, self->count_meth,
+                               SN.late_invalidates) < 0) {
+                    Py_DECREF(txn);
+                    goto fail_foreign;
+                }
+            }
+        }
+        Py_DECREF(txn);
+        if (record != NULL) {
+            PyObject *phase = PyObject_GetAttr(record, SN.phase);
+            if (phase == NULL)
+                goto fail_foreign;
+            if (phase == self->waiting_phase) {
+                Py_DECREF(phase);
+                PyObject *rvalue = PyObject_GetAttr(record, S.value);
+                if (rvalue == NULL)
+                    goto fail_foreign;
+                int rc = snoop_supply(self, request, rvalue);
+                Py_DECREF(rvalue);
+                if (rc < 0)
+                    goto fail_foreign;
+                if (PyObject_SetAttr(record, SN.phase,
+                                     self->lost_phase) < 0)
+                    goto fail_foreign;
+                PyObject *rreq = PyObject_GetAttr(record,
+                                                  SN.record_request);
+                if (rreq == NULL)
+                    goto fail_foreign;
+                rc = PyObject_SetAttr(rreq, S.value, Py_None);
+                Py_DECREF(rreq);
+                if (rc < 0)
+                    goto fail_foreign;
+                if (comp_count(self->counters_dict, self->count_meth,
+                               SN.writeback_race_first_getx) < 0)
+                    goto fail_foreign;
+                supplied = 1;
+            }
+            else if (phase == self->lost_phase) {
+                Py_DECREF(phase);
+                PyObject *res = PyObject_CallOneArg(self->corner_meth,
+                                                    request);
+                if (res == NULL)
+                    goto fail_foreign;
+                Py_DECREF(res);
+            }
+            else
+                Py_DECREF(phase);
+        }
+        result = supplied ? Py_True : Py_False;
+        goto done_foreign;
+    }
+
+fail_foreign:
+    Py_XDECREF(record);
+    Py_XDECREF(line);
+    Py_DECREF(state);
+    goto done;
+done_foreign:
+    Py_XDECREF(record);
+    Py_XDECREF(line);
+    Py_DECREF(state);
+done:
+    Py_DECREF(rtype);
+    Py_DECREF(addr_obj);
+    if (result == NULL)
+        return NULL;
+    Py_INCREF(result);
+    return result;
+}
+
+static PyObject *
+SnoopCore_receive_data(CSnoopCore *self, PyObject *const *args,
+                       Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "receive_data expects (address, value)");
+        return NULL;
+    }
+    if (snoop_receive_impl(self, args[0], args[1]) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef SnoopCore_methods[] = {
+    {"access", (PyCFunction)(void (*)(void))SnoopCore_access,
+     METH_FASTCALL, "compiled SnoopingCacheController.access"},
+    {"snoop", (PyCFunction)SnoopCore_snoop, METH_O,
+     "compiled SnoopingCacheController.snoop"},
+    {"receive_data", (PyCFunction)(void (*)(void))SnoopCore_receive_data,
+     METH_FASTCALL, "compiled SnoopingCacheController.receive_data"},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyTypeObject CSnoopCore_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._ckernel.SnoopCore",
+    .tp_basicsize = sizeof(CSnoopCore),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Compiled snooping cache-controller transition handlers",
+    .tp_new = SnoopCore_new,
+    .tp_dealloc = (destructor)SnoopCore_dealloc,
+    .tp_traverse = (traverseproc)SnoopCore_traverse,
+    .tp_clear = (inquiry)SnoopCore_clear_gc,
+    .tp_methods = SnoopCore_methods,
+};
 
 static PyMethodDef module_methods[] = {
     {NULL}
@@ -6811,7 +8729,12 @@ PyInit__ckernel(void)
         PyType_Ready(&CTxnCore_Type) < 0 ||
         PyType_Ready(&CTxnFinishThunk_Type) < 0 ||
         PyType_Ready(&CTxnTimeoutThunk_Type) < 0 ||
-        PyType_Ready(&CMemCore_Type) < 0)
+        PyType_Ready(&CMemCore_Type) < 0 ||
+        PyType_Ready(&CSnoopCore_Type) < 0 ||
+        PyType_Ready(&CSnoopFinishThunk_Type) < 0 ||
+        PyType_Ready(&CSnoopTimeoutThunk_Type) < 0 ||
+        PyType_Ready(&CSupplyThunk_Type) < 0 ||
+        PyType_Ready(&CSnoopRecvThunk_Type) < 0)
         return NULL;
 
     /* Interned attribute names for the switch-core hot paths. */
@@ -6860,6 +8783,8 @@ PyInit__ckernel(void)
     INTERN(squashed_net, "network.squashed_in_flight");
     INTERN(delivered_name, "delivered");
     INTERN(reordered_name, "reordered");
+    INTERN(send_seq_name, "send_seq");
+    INTERN(max_delivered_seq, "max_delivered_seq");
 #undef INTERN
 #define INTERN(field, text)                                             \
     do {                                                                \
@@ -6959,6 +8884,28 @@ PyInit__ckernel(void)
     INTERN(stale_acks, "stale_acks");
     INTERN(memory_references, "memory_references");
 #undef INTERN
+#define INTERN(field, text)                                             \
+    do {                                                                \
+        SN.field = PyUnicode_InternFromString(text);                    \
+        if (SN.field == NULL)                                           \
+            return NULL;                                                \
+    } while (0)
+    INTERN(requestor, "requestor");
+    INTERN(rtype, "rtype");
+    INTERN(phase, "phase");
+    INTERN(record_request, "request");
+    INTERN(bus_ordered, "bus_ordered");
+    INTERN(invalidate_on_install, "invalidate_on_install");
+    INTERN(value_hint, "value_hint");
+    INTERN(writebacks_ordered, "writebacks_ordered");
+    INTERN(own_request_ordered, "own_request_ordered");
+    INTERN(cache_to_cache_transfers, "cache_to_cache_transfers");
+    INTERN(forwards_deferred, "forwards_deferred");
+    INTERN(late_invalidates, "late_invalidates");
+    INTERN(writeback_race_first_getx, "writeback_race_first_getx");
+    INTERN(stale_data, "stale_data");
+    INTERN(duplicate_data, "duplicate_data");
+#undef INTERN
     delay_kwnames = Py_BuildValue("(s)", "delay");
     if (delay_kwnames == NULL)
         return NULL;
@@ -6997,6 +8944,8 @@ PyInit__ckernel(void)
                               (PyObject *)&CTxnCore_Type) < 0 ||
         PyModule_AddObjectRef(mod, "MemoryCompleteCore",
                               (PyObject *)&CMemCore_Type) < 0 ||
+        PyModule_AddObjectRef(mod, "SnoopCore",
+                              (PyObject *)&CSnoopCore_Type) < 0 ||
         PyModule_AddStringConstant(mod, "COMPILER", CKERNEL_COMPILER) < 0) {
         Py_DECREF(mod);
         return NULL;

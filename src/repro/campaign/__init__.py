@@ -28,6 +28,7 @@ from repro.campaign.executor import (
     reset_global_ids,
     reset_perf_counters,
 )
+from repro.campaign.multiplex import MultiplexExecutor
 from repro.campaign.manifest import (
     CampaignManifest,
     read_manifest,

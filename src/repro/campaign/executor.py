@@ -18,6 +18,7 @@ consecutively in one process with warm memos.
 
 from __future__ import annotations
 
+import gc
 import itertools
 import json
 import os
@@ -30,6 +31,7 @@ import repro.coherence.snooping.bus as _snooping_bus
 import repro.interconnect.message as _message
 from repro.campaign.manifest import atomic_write_json
 from repro.campaign.precompute import artifact_keys
+from repro.coherence.cache import disable_set_pool, enable_set_pool
 from repro.campaign.spec import RunSpec, SweepSpec
 from repro.system import build_system
 from repro.system.results import RunResult, RESULT_SCHEMA
@@ -72,14 +74,40 @@ def execute_spec(spec: RunSpec) -> RunResult:
     Note the ``is not None`` check — an explicit ``0.0`` rate attaches an
     injector that never fires, which is a different system from one with no
     injector at all.
+
+    The cyclic garbage collector is paused for the duration of the run and a
+    full collection happens right after: a run allocates millions of
+    short-lived objects whose lifetimes the kernel already manages through
+    reference counting and free lists, so mid-run generational collections
+    are pure overhead, while the collect-after bounds the retained cyclic
+    garbage (dead simulated machines) to a single run.
     """
     reset_global_ids()
-    system = build_system(spec.config, label=spec.label)
-    if spec.recovery_rate_per_second is not None:
-        system.attach_recovery_injector(spec.recovery_rate_per_second)
-    result = system.run(max_cycles=spec.max_cycles)
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        system = build_system(spec.config, label=spec.label)
+        if spec.recovery_rate_per_second is not None:
+            system.attach_recovery_injector(spec.recovery_rate_per_second)
+        result = system.run(max_cycles=spec.max_cycles)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+            # Generation 1 suffices: everything this run allocated sits in
+            # generation 0 (no collection ran while gc was off), and the
+            # previous run's machine — promoted to generation 1 by its own
+            # post-run collection — dies here too.
+            gc.collect(1)
     PERF_COUNTERS["runs"] += 1
     PERF_COUNTERS["events_executed"] += system.sim.events_executed
+    # Hand the finished machine's cache set-lists to the pool (a no-op
+    # unless an in-process executor enabled it around its batch); the next
+    # same-geometry build then reuses them instead of allocating tens of
+    # thousands of fresh per-set dicts.
+    for node in system.nodes:
+        node.l2_array.recycle_sets()
+        if node.l1 is not None:
+            node.l1.tags.recycle_sets()
     return result
 
 
@@ -276,18 +304,29 @@ class Executor:
 
 
 class SerialExecutor(Executor):
-    """Runs every design point in-process, one after another."""
+    """Runs every design point in-process, one after another.
+
+    The cache set-list pool (:func:`repro.coherence.cache.enable_set_pool`)
+    is enabled for the duration of each batch: consecutive same-geometry
+    runs then recycle their cache arrays' backing lists instead of
+    reallocating them.  Purely an allocation cache — results are
+    byte-identical with the pool on or off.
+    """
 
     def map(self, specs: SpecBatch) -> List[RunResult]:
         cached = self._lookup(specs)
         results: List[Optional[RunResult]] = [None] * len(specs)
-        for index, spec in enumerate(specs):
-            if index in cached:
-                results[index] = cached[index]
-                continue
-            result, seconds = execute_spec_timed(spec)
-            self._store(spec, result, wall_seconds=seconds)
-            results[index] = result
+        enable_set_pool()
+        try:
+            for index, spec in enumerate(specs):
+                if index in cached:
+                    results[index] = cached[index]
+                    continue
+                result, seconds = execute_spec_timed(spec)
+                self._store(spec, result, wall_seconds=seconds)
+                results[index] = result
+        finally:
+            disable_set_pool()
         return results  # type: ignore[return-value]
 
 
@@ -320,11 +359,15 @@ class BatchExecutor(SerialExecutor):
                 continue
             groups.setdefault(artifact_keys(spec.config), []).append(
                 (index, spec))
-        for members in groups.values():
-            for index, spec in members:
-                result, seconds = execute_spec_timed(spec)
-                self._store(spec, result, wall_seconds=seconds)
-                results[index] = result
+        enable_set_pool()
+        try:
+            for members in groups.values():
+                for index, spec in members:
+                    result, seconds = execute_spec_timed(spec)
+                    self._store(spec, result, wall_seconds=seconds)
+                    results[index] = result
+        finally:
+            disable_set_pool()
         return results  # type: ignore[return-value]
 
 
@@ -393,17 +436,25 @@ def make_executor(parallel: int = 0,
                   cache_dir: Optional[str] = None,
                   batched: bool = False,
                   workers: int = 0,
-                  resume: bool = False) -> Executor:
+                  resume: bool = False,
+                  multiplexed: bool = False) -> Executor:
     """Build the executor the runner CLI asks for.
 
     ``workers >= 1`` yields a :class:`~repro.campaign.sharding
     .ShardedExecutor` over the shared store at ``cache_dir`` (required:
-    the store *is* the coordination medium).  Otherwise ``parallel <= 1``
-    yields a :class:`SerialExecutor` — or a :class:`BatchExecutor` when
+    the store *is* the coordination medium).  ``multiplexed`` yields a
+    :class:`~repro.campaign.multiplex.MultiplexExecutor` — one warm process
+    scheduling the whole batch — and is its own execution strategy: it
+    excludes ``parallel``/``batched``/``workers``.  Otherwise ``parallel <=
+    1`` yields a :class:`SerialExecutor` — or a :class:`BatchExecutor` when
     ``batched`` is set; anything larger a :class:`ParallelExecutor` with
     that many workers (each worker process keeps its own memos warm across
     the specs it runs, so ``batched`` adds nothing there).
     """
+    if multiplexed and (parallel or batched or workers):
+        raise ValueError(
+            "multiplexed is its own execution strategy; drop "
+            "parallel/batched/workers")
     if workers:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -419,6 +470,11 @@ def make_executor(parallel: int = 0,
         raise ValueError("resume only applies to sharded execution "
                          "(pass workers >= 1)")
     cache = ResultCache(cache_dir) if cache_dir else None
+    if multiplexed:
+        # Imported here: multiplex builds on this module.
+        from repro.campaign.multiplex import MultiplexExecutor
+
+        return MultiplexExecutor(cache=cache)
     if parallel and parallel > 1:
         return ParallelExecutor(max_workers=parallel, cache=cache)
     if batched:

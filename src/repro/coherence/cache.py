@@ -35,6 +35,41 @@ class CacheLine(Generic[StateT]):
     dirty: bool = False
 
 
+# ------------------------------------------------------------- set-list pool
+#: Recycled ``_sets`` lists keyed by set count, populated only while the
+#: pool is enabled.  A 16-node campaign design point allocates tens of
+#: thousands of empty per-set dicts per run; executors that run many design
+#: points in one process (:class:`repro.campaign.multiplex
+#: .MultiplexExecutor`) recycle the lists of finished runs instead.  Purely
+#: an allocation cache: a recycled list is returned emptied, so array
+#: behaviour — and therefore every simulation result — is identical with
+#: the pool on or off.
+_SET_POOL: Dict[int, List[List[dict]]] = {}
+_POOL_ENABLED = False
+
+
+def enable_set_pool() -> None:
+    """Start recycling ``_sets`` lists handed back via :meth:`CacheArray
+    .recycle_sets`."""
+    global _POOL_ENABLED
+    _POOL_ENABLED = True
+
+
+def disable_set_pool() -> None:
+    """Stop recycling and drop every pooled list."""
+    global _POOL_ENABLED
+    _POOL_ENABLED = False
+    _SET_POOL.clear()
+
+
+def _sets_from_pool(num_sets: int) -> List[dict]:
+    if _POOL_ENABLED:
+        bucket = _SET_POOL.get(num_sets)
+        if bucket:
+            return bucket.pop()
+    return [{} for _ in range(num_sets)]
+
+
 class CacheArray(Generic[StateT]):
     """A set-associative cache with explicit state management.
 
@@ -53,8 +88,8 @@ class CacheArray(Generic[StateT]):
         self.name = name
         self.config = config
         self.invalid_state = invalid_state
-        self._sets: List[Dict[BlockAddress, CacheLine[StateT]]] = [
-            {} for _ in range(config.num_sets)]
+        self._sets: List[Dict[BlockAddress, CacheLine[StateT]]] = (
+            _sets_from_pool(config.num_sets))
         # Geometry constants, promoted to instance attributes: set addressing
         # runs on every cache probe and the config indirection is measurable.
         self._block_bytes = config.block_bytes
@@ -217,6 +252,24 @@ class CacheArray(Generic[StateT]):
             raise ValueError(f"unknown cache field {field_name!r}")
 
     # ------------------------------------------------------------------ stats
+    def recycle_sets(self) -> None:
+        """Empty this array's ``_sets`` list and hand it to the pool.
+
+        Called by executors on arrays of *finished* runs (the run's result
+        is already extracted; nothing reads the array again).  No-op while
+        the pool is disabled.
+        """
+        if not _POOL_ENABLED:
+            return
+        sets = self._sets
+        for cache_set in sets:
+            if cache_set:
+                cache_set.clear()
+        # The array must never serve a probe after recycling: its list now
+        # belongs to a future run's array.
+        self._sets = []
+        _SET_POOL.setdefault(len(sets), []).append(sets)
+
     def record_hit(self) -> None:
         self.hits += 1
 

@@ -105,7 +105,9 @@ class DirectoryController(Component):
         def _run() -> None:
             if generation == self.generation:
                 action()
-        self.schedule(delay, _run)
+        # Inline of Component.schedule: one push per protocol action.
+        sim = self.sim
+        sim.queue.push(sim._now + delay, _run, 0, self.name)
 
     # -------------------------------------------------------------- observers
     def set_observer(self, observer: Optional[EntryObserver]) -> None:
@@ -132,13 +134,15 @@ class DirectoryController(Component):
         entry.owner = owner
 
     def _set_sharers(self, entry: DirectoryEntry, sharers: Set[int]) -> None:
-        # Only materialise the frozenset snapshots when the observer will
-        # actually see them (same old != new gate as _notify); this runs on
-        # every gets/getx and the two allocations dominate its cost.
+        # Takes ownership of ``sharers`` (every caller passes a set built
+        # for the purpose), so no defensive copy.  Only materialise the
+        # frozenset snapshots when the observer will actually see them (same
+        # old != new gate as _notify); this runs on every gets/getx and the
+        # allocations dominate its cost.
         if self._observer is not None and entry.sharers != sharers:
             self._observer(entry.address, "sharers",
                            frozenset(entry.sharers), frozenset(sharers))
-        entry.sharers = set(sharers)
+        entry.sharers = sharers
 
     def _set_value(self, entry: DirectoryEntry, value: int) -> None:
         self._notify(entry.address, "value", entry.value, value)
@@ -165,7 +169,10 @@ class DirectoryController(Component):
     # --------------------------------------------------------------- requests
     def _handle_request(self, address: BlockAddress, requestor: int,
                         kind: MessageClass, payload: CoherencePayload) -> None:
-        entry = self.entry(address)
+        # Inline of entry(): one call per protocol request.
+        entry = self.entries.get(address)
+        if entry is None:
+            entry = self.entries[address] = DirectoryEntry(address=address)
         if entry.busy is not None:
             entry.pending.append((requestor, kind, payload))
             self.count("stalled_requests")
@@ -315,7 +322,10 @@ class DirectoryController(Component):
 
     # --------------------------------------------------------------- final ack
     def _handle_final_ack(self, address: BlockAddress, requestor: int) -> None:
-        entry = self.entry(address)
+        # Inline of entry(): one call per completed transaction.
+        entry = self.entries.get(address)
+        if entry is None:
+            entry = self.entries[address] = DirectoryEntry(address=address)
         self.count("final_acks")
         if entry.busy is None:
             # A FinalAck for a transaction that was squashed by a recovery.

@@ -93,6 +93,13 @@ class SnoopingCacheController(Component):
         #: Bumped on every recovery; delayed retries from before a recovery
         #: are dropped when they fire.
         self.generation = 0
+        #: Completion context of the outstanding transaction.  The blocking
+        #: processor guarantees at most one, so the (request, on_complete)
+        #: pair lives on the controller instead of a per-transaction closure
+        #: (one closure per miss is measurable at protocol rates, and the
+        #: compiled snoop core completes through the same attributes).
+        self._pending_request: Optional[MemoryRequest] = None
+        self._pending_on_complete: Optional[Callable[[MemoryRequest], None]] = None
 
     # ================================================================ processor
     def access(self, request: MemoryRequest,
@@ -135,13 +142,13 @@ class SnoopingCacheController(Component):
         if self.transaction is not None:
             raise RuntimeError(f"{self.name}: second outstanding reference")
         if not self.may_issue(self.node_id):
-            generation = self.generation
-            self.schedule(50, lambda: (self._issue_transaction(request, on_complete)
-                                       if generation == self.generation else None))
+            self._retry_issue(request, on_complete)
             return
         txn = Transaction(node=self.node_id, address=request.address,
                           op=request.op, started_at=self.sim.now)
-        txn.on_complete = lambda t: self._transaction_done(t, request, on_complete)
+        self._pending_request = request
+        self._pending_on_complete = on_complete
+        txn.on_complete = self._complete_current
         self.transaction = txn
         if self.timeout_cycles is not None:
             txn.timeout_event = self.schedule(
@@ -151,6 +158,19 @@ class SnoopingCacheController(Component):
         self.bus.issue(BusRequest(requestor=self.node_id, address=request.address,
                                   rtype=rtype))
         self.count("transactions_issued")
+
+    def _retry_issue(self, request: MemoryRequest,
+                     on_complete: Callable[[MemoryRequest], None]) -> None:
+        # Slow-start gating: retry shortly (void if a recovery intervenes,
+        # because the rolled-back processor will re-issue the reference).
+        generation = self.generation
+        self.schedule(50, lambda: (self._issue_transaction(request, on_complete)
+                                   if generation == self.generation else None))
+
+    def _complete_current(self, txn: Transaction) -> None:
+        """``on_complete`` of the controller's single outstanding transaction."""
+        self._transaction_done(txn, self._pending_request,
+                               self._pending_on_complete)
 
     def _transaction_done(self, txn: Transaction, request: MemoryRequest,
                           on_complete: Callable[[MemoryRequest], None]) -> None:

@@ -14,6 +14,11 @@ Flags:
   processes; the report is byte-identical to a serial run.
 * ``--batched`` — group each batch by shared precomputed artifacts and run
   it in-process with warm memos; byte-identical to a serial run.
+* ``--multiplex`` — run the whole grid as one scheduled pass in a single
+  warm process: specs grouped by shared artifacts, system *construction*
+  round-robin interleaved with run *execution* so compiled cores and memos
+  stay warm; byte-identical to a serial run.  Mutually exclusive with
+  ``--parallel``/``--batched``/``--workers``.
 * ``--workers N`` — sharded execution: publish a campaign manifest to the
   shared store (``--cache DIR``, required) and fan design points out to
   ``N`` crash-safe worker processes that claim specs via lease files;
@@ -96,16 +101,19 @@ def report_text(results: Dict[str, object]) -> str:
 
 def report_json(results: Dict[str, object], *, quick: bool = False,
                 cache_stats: Optional[Dict[str, int]] = None,
-                kernel_meta: Optional[Dict[str, str]] = None) -> Dict[str, object]:
+                kernel_meta: Optional[Dict[str, str]] = None,
+                memo_stats: Optional[Dict[str, int]] = None) -> Dict[str, object]:
     """The machine-readable campaign report (stable schema).
 
     ``cache_stats`` is only present when the campaign ran with ``--cache``;
     cache-less reports keep their exact historical byte form.
     ``kernel_meta`` records which kernel tier executed the campaign (and the
-    compiler that built the extension, on the compiled tier).  Both are
-    *execution-side* blocks: they describe how the campaign ran, not what it
-    computed, so ``tools/compare_reports.py`` strips them before byte
-    comparison and report identity is unchanged across tiers.
+    compiler that built the extension, on the compiled tier).
+    ``memo_stats`` records the artifact-memo traffic (stream/topology
+    hits+misses) of the campaign process.  All three are *execution-side*
+    blocks: they describe how the campaign ran, not what it computed, so
+    ``tools/compare_reports.py`` strips them before byte comparison and
+    report identity is unchanged across tiers and executors.
     """
     report: Dict[str, object] = {
         "schema": REPORT_SCHEMA,
@@ -116,6 +124,8 @@ def report_json(results: Dict[str, object], *, quick: bool = False,
         report["cache"] = dict(cache_stats)
     if kernel_meta is not None:
         report["kernel"] = dict(kernel_meta)
+    if memo_stats is not None:
+        report["memos"] = dict(memo_stats)
     return report
 
 
@@ -142,6 +152,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--batched", action="store_true",
                         help="group design points by shared precomputed "
                              "artifacts and run in-process with warm memos")
+    parser.add_argument("--multiplex", action="store_true",
+                        help="run the whole grid as one scheduled pass in a "
+                             "single warm process (artifact-grouped, "
+                             "construction interleaved with execution); "
+                             "byte-identical to a serial run")
     parser.add_argument("--workers", type=int, default=0, metavar="N",
                         help="sharded execution: N crash-safe worker "
                              "processes claiming design points from the "
@@ -181,6 +196,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(campaign_status(args.cache))
         return 0
 
+    if args.multiplex and (args.parallel or args.batched or args.workers):
+        parser.error("--multiplex is its own execution strategy; drop "
+                     "--parallel/--batched/--workers")
     if args.workers:
         if not args.cache:
             parser.error("--workers needs a shared store: pass --cache DIR")
@@ -217,7 +235,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     with make_executor(args.parallel, cache_dir=args.cache,
                        batched=args.batched, workers=args.workers,
-                       resume=args.resume) as executor:
+                       resume=args.resume,
+                       multiplexed=args.multiplex) as executor:
         results = run_campaign(quick=args.quick, executor=executor,
                                only=args.only)
         cache_stats = (executor.cache.stats()
@@ -236,9 +255,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         compiler = kernel.compiler_tag()
         if kernel_meta["tier"] == "compiled" and compiler is not None:
             kernel_meta["compiler"] = compiler
-        write_json_report(args.json, report_json(results, quick=args.quick,
-                                                 cache_stats=cache_stats,
-                                                 kernel_meta=kernel_meta))
+        from repro.campaign import memo_stats as campaign_memo_stats
+
+        write_json_report(args.json,
+                          report_json(results, quick=args.quick,
+                                      cache_stats=cache_stats,
+                                      kernel_meta=kernel_meta,
+                                      memo_stats=campaign_memo_stats()))
     return 0
 
 

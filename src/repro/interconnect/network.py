@@ -65,13 +65,23 @@ class OrderingTracker:
         return record
 
     def assign_send_seq(self, message: NetworkMessage) -> None:
-        record = self._record((message.src, message.dst, message.vnet))
+        # Inline of _record: this runs once per injected message.
+        records = self._records
+        key = (message.src, message.dst, message.vnet)
+        record = records.get(key)
+        if record is None:
+            record = records[key] = OrderingRecord()
         message.send_seq = record.next_send_seq
         record.next_send_seq += 1
 
     def note_delivery(self, message: NetworkMessage) -> bool:
         """Record a delivery; returns True if the message was reordered."""
-        record = self._record((message.src, message.dst, message.vnet))
+        # Inline of _record: this runs once per delivered message.
+        records = self._records
+        key = (message.src, message.dst, message.vnet)
+        record = records.get(key)
+        if record is None:
+            record = records[key] = OrderingRecord()
         record.delivered += 1
         vnet = message.vnet
         self.per_vnet_delivered[vnet] += 1
@@ -272,6 +282,7 @@ class InterconnectNetwork:
                 f"node {node_id} has no switch on this {self.topology.describe()}")
         endpoint = self._endpoints.setdefault(node_id, _Endpoint(node_id))
         endpoint.receive = receive
+        self._switches[node_id]._local_endpoint = endpoint
 
     def send(self, message: NetworkMessage) -> None:
         """Inject a message; queues at the NIC if the switch buffer is full."""
@@ -310,11 +321,22 @@ class InterconnectNetwork:
 
     def notify_injection_space(self, node_id: int) -> None:
         """A local injection slot freed at ``node_id``'s switch."""
-        if node_id in self._endpoints:
-            self._drain_injection_queue(node_id)
-            # Draining the outbound queue may re-enable ejection at this
-            # node's switch (see :meth:`can_eject`).
-            self._switches[node_id].schedule_scan(delay=1)
+        # Inline of _drain_injection_queue: this runs once per freed slot
+        # (several times per delivered message) and the queue is almost
+        # always empty.
+        endpoint = self._endpoints.get(node_id)
+        if endpoint is None:
+            return
+        switch = self._switches[node_id]
+        pending = endpoint.pending_injection
+        while pending:
+            if not switch.inject(pending[0]):
+                break
+            pending.popleft()
+            endpoint.injected += 1
+        # Draining the outbound queue may re-enable ejection at this
+        # node's switch (see :meth:`can_eject`).
+        switch.schedule_scan(delay=1)
 
     def can_eject(self, node_id: int) -> bool:
         """May the switch hand another message to this node right now?
@@ -352,8 +374,25 @@ class InterconnectNetwork:
             self.messages_delivered += 1
             endpoint.delivered += 1
             self.total_message_latency += now - message.injected_at
-            reordered = self.ordering.note_delivery(message)
+            # Inline of OrderingTracker.note_delivery — one call per
+            # delivered message, and the vnet/counter work merges with the
+            # per-vnet tallies below.
             vn = message.vnet
+            ordering = self.ordering
+            records = ordering._records
+            key = (message.src, message.dst, vn)
+            record = records.get(key)
+            if record is None:
+                record = records[key] = OrderingRecord()
+            record.delivered += 1
+            ordering.per_vnet_delivered[vn] += 1
+            send_seq = message.send_seq
+            reordered = send_seq < record.max_delivered_seq
+            if reordered:
+                record.reordered += 1
+                ordering.per_vnet_reordered[vn] += 1
+            else:
+                record.max_delivered_seq = send_seq
             counter = self._delivered_counters[vn]
             if counter is None:
                 counter = self._vnet_counter(self._delivered_counters,

@@ -64,6 +64,11 @@ class Switch(Component):
         self.switch_id = switch_id
         self.network = network
         self.topology = topology
+        #: The network endpoint attached at this switch (set by
+        #: InterconnectNetwork.attach); lets the credit-release hot path
+        #: skip the cross-object notify call while the injection queue is
+        #: empty, which it almost always is.
+        self._local_endpoint = None
         self.neighbors = topology.neighbors(switch_id)
         self.input_channels: Dict[Direction, ChannelSet] = {}
         # Port-indexed geometry: only the ports this topology actually
@@ -430,7 +435,16 @@ class Switch(Component):
             progressed = True
             upstream = self._credit_wake[port]
             if upstream is None:
-                self.network.notify_injection_space(self.switch_id)
+                # Inline of network.notify_injection_space for the common
+                # empty-queue case: nothing to drain, just rescan for
+                # re-enabled ejection.
+                endpoint = self._local_endpoint
+                if endpoint is not None:
+                    if endpoint.pending_injection:
+                        self.network.notify_injection_space(self.switch_id)
+                    elif not self._scan_scheduled:
+                        self._scan_scheduled = True
+                        sim.queue.push_static(self._scan_event, now + 1)
             elif not upstream._scan_scheduled:
                 upstream._scan_scheduled = True
                 sim.queue.push_static(upstream._scan_event, now + 1)
@@ -447,7 +461,15 @@ class Switch(Component):
         """A slot freed on input ``port``: wake whoever feeds that port."""
         upstream = self._credit_wake[port]
         if upstream is None:
-            self.network.notify_injection_space(self.switch_id)
+            # Same empty-queue inline of notify_injection_space as in _scan.
+            endpoint = self._local_endpoint
+            if endpoint is not None:
+                if endpoint.pending_injection:
+                    self.network.notify_injection_space(self.switch_id)
+                elif not self._scan_scheduled:
+                    self._scan_scheduled = True
+                    sim = self.sim
+                    sim.queue.push_static(self._scan_event, sim._now + 1)
         elif not upstream._scan_scheduled:
             # Inline of upstream.schedule_scan(delay=1) — credits fire once
             # per forwarded message.

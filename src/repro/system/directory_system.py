@@ -251,32 +251,60 @@ class DirectorySystem(System):
         would have captured.  It runs inside the recovery (after the undo
         replay) and is not itself logged.
         """
+        # This pass runs on every recovery of every Figure 4 run, over every
+        # resident line of every node, so it iterates the cache sets
+        # directly (no generator chain) and classifies each address's
+        # holders in a single sweep.
+        modified = CacheState.MODIFIED
+        owned = CacheState.OWNED
+        shared = CacheState.SHARED
+        nodes = self.nodes
         copies: Dict[int, List] = {}
-        for node in self.nodes:
-            for line in node.l2_array.lines():
-                copies.setdefault(line.address, []).append((node.node_id, line.state))
+        for node in nodes:
+            node_id = node.node_id
+            # filter(None, ...) skips the (vast majority of) empty sets at C
+            # speed; the Python-level loop only sees occupied ones.
+            for cache_set in filter(None, node.l2_array._sets):
+                for address, line in cache_set.items():
+                    holders = copies.get(address)
+                    if holders is None:
+                        holders = copies[address] = []
+                    holders.append((node_id, line.state))
         every_address = set(copies)
-        for node in self.nodes:
+        for node in nodes:
             every_address.update(node.directory.entries.keys())
+        num_processors = self.config.num_processors
+        block_bytes = self.config.block_bytes
         for address in every_address:
-            home = self.nodes[self._home(address)].directory
+            home = nodes[home_node(address, num_processors,
+                                   block_bytes)].directory
             entry = home.entry(address)
-            holders = copies.get(address, [])
-            owners = [n for n, s in holders
-                      if s in (CacheState.MODIFIED, CacheState.OWNED)]
-            sharers = {n for n, s in holders if s == CacheState.SHARED}
-            if owners:
-                owner = owners[0]
+            owner = None
+            extra_owners = None
+            sharers = set()
+            for n, s in copies.get(address, ()):
+                if s is modified or s is owned:
+                    if owner is None:
+                        owner = n
+                    elif extra_owners is None:
+                        extra_owners = [n]
+                    else:
+                        extra_owners.append(n)
+                elif s is shared:
+                    sharers.add(n)
+            if owner is not None:
                 # A cut can never legitimately produce two owners, but be
                 # defensive: demote extras to sharers.
-                for extra in owners[1:]:
-                    self.nodes[extra].l2_array.force_line(
-                        address, CacheState.SHARED,
-                        self.nodes[extra].l2_array.peek(address).value)
-                    sharers.add(extra)
+                if extra_owners is not None:
+                    for extra in extra_owners:
+                        nodes[extra].l2_array.force_line(
+                            address, shared,
+                            nodes[extra].l2_array.peek(address).value)
+                        sharers.add(extra)
                 entry.owner = owner
                 entry.state = DirectoryState.OWNED
-                entry.sharers = sharers - {owner}
+                sharers.discard(owner)
+                entry.sharers = sharers
             else:
                 entry.owner = None
                 entry.sharers = sharers

@@ -16,11 +16,11 @@ from typing import Dict, List
 
 from repro import kernel
 from repro.coherence.cache import CacheArray, CacheLine
-from repro.coherence.common import MemoryOp
-from repro.coherence.snooping.bus import AddressBus
+from repro.coherence.common import MemoryOp, Transaction
+from repro.coherence.snooping.bus import AddressBus, BusRequest, BusRequestType
 from repro.coherence.snooping.cache_controller import SnoopingCacheController
 from repro.coherence.snooping.memory_controller import SnoopingMemoryController
-from repro.coherence.snooping.states import SnoopState
+from repro.coherence.snooping.states import SnoopState, WritebackPhase
 from repro.processor.core import BlockingProcessor
 from repro.processor.l1 import L1FilterCache, L1State
 from repro.safetynet.manager import SafetyNet
@@ -102,14 +102,20 @@ class SnoopingSystem(System):
             lambda: self.slow_start_gate.reset_outstanding())
 
     def _install_compiled_fast_paths(self) -> None:
-        # Rebind the issue loop and the bus arbitration onto the compiled
-        # cores (byte-identical ports; the pure methods stay authoritative
-        # and still handle every cold path).
+        # Rebind the issue loop, bus arbitration and the cache-controller
+        # transition handlers onto the compiled cores (byte-identical ports;
+        # the pure methods stay authoritative and still handle every cold
+        # path).  BusCore is installed first: SnoopCore captures
+        # ``ctrl.bus.issue`` at construction and must see the compiled
+        # arbitration loop.
         impl = kernel.engine_impl()
         if impl is None or not hasattr(impl, "ProcessorCore"):
             return
         if not isinstance(self.sim, impl.Simulator):
             return
+        core = impl.BusCore(self.bus)
+        self.bus._bus_core = core
+        self.bus.issue = core.issue
         for node in self.nodes:
             processor = node.processor
             if processor.l1 is not None:
@@ -121,9 +127,22 @@ class SnoopingSystem(System):
                 if hasattr(impl, "MemoryCompleteCore"):
                     processor._memory_complete = impl.MemoryCompleteCore(
                         processor, proc_core, L1State.VALID, CacheLine)
-        core = impl.BusCore(self.bus)
-        self.bus._bus_core = core
-        self.bus.issue = core.issue
+            if hasattr(impl, "SnoopCore"):
+                ctrl = node.cache_controller
+                snoop_core = impl.SnoopCore(
+                    ctrl, MemoryOp.LOAD, MemoryOp.STORE,
+                    SnoopState.INVALID, SnoopState.SHARED,
+                    SnoopState.EXCLUSIVE, SnoopState.OWNED,
+                    SnoopState.MODIFIED,
+                    BusRequestType.GETS, BusRequestType.GETX,
+                    BusRequestType.WRITEBACK,
+                    WritebackPhase.WAITING_OWN_WB,
+                    WritebackPhase.LOST_OWNERSHIP,
+                    BusRequest, Transaction, CacheLine)
+                ctrl._snoop_core = snoop_core
+                node.processor.l2_access = snoop_core.access
+                ctrl.receive_data = snoop_core.receive_data
+                self.bus._snoopers[node.node_id] = snoop_core.snoop
 
     # --------------------------------------------------------------------- run
     def _default_max_cycles(self) -> int:

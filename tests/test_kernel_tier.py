@@ -186,9 +186,10 @@ def _fig4_quick_json(tier: str, path: str) -> bytes:
 
 
 #: Top-level report keys describing how the campaign ran (kernel tier,
-#: cache traffic) rather than what it computed; the parity gates compare
-#: everything else byte for byte (mirrors tools/compare_reports.py).
-EXECUTION_KEYS = ("cache", "kernel")
+#: cache traffic, artifact-memo warmth) rather than what it computed; the
+#: parity gates compare everything else byte for byte (mirrors
+#: tools/compare_reports.py).
+EXECUTION_KEYS = ("cache", "kernel", "memos")
 
 
 def _canonical_report_bytes(raw: bytes) -> str:
@@ -285,16 +286,22 @@ class TestTierParity:
                 f"@{'no-vc' if s3 else 'vc'}")
 
     def test_full_registry_grid_byte_identical(self):
-        """Every workload family x both protocols x {vc, no-vc}, both tiers.
+        """Every workload family x both protocols x {vc, no-vc}, both tiers,
+        serial and multiplexed.
 
         The exhaustive (small-reference) companion to the seeded sample
-        above: with the coherence controllers, processor issue loop and L1
-        now compiled, a divergence confined to one protocol or one workload
-        family's access pattern must not be able to hide behind the sample.
-        Byte-for-byte on the result JSON, which includes ``events_executed``
-        and every counter — the strictest cheap oracle we have.
+        above: with the coherence controllers, processor issue loop, L1 and
+        now the snooping transition handlers compiled, a divergence confined
+        to one protocol or one workload family's access pattern must not be
+        able to hide behind the sample.  Each tier additionally re-runs the
+        whole grid under :class:`MultiplexExecutor`, so the interleaved
+        build/execute schedule and the C snooping handlers are held to the
+        same byte-for-byte oracle as plain serial execution.  Byte-for-byte
+        on the result JSON, which includes ``events_executed`` and every
+        counter — the strictest cheap oracle we have.
         """
         from repro.campaign.executor import execute_spec
+        from repro.campaign.multiplex import MultiplexExecutor
         from repro.campaign.spec import RunSpec
         from repro.experiments.workload_matrix import (
             MAX_CYCLES,
@@ -308,22 +315,30 @@ class TestTierParity:
         grid = [(w, p, s3) for w in sorted(workload_names())
                 for p in PROTOCOLS for s3 in S3_MODES]
 
-        def run_tier(tier: str):
+        def grid_specs():
+            return [RunSpec(
+                config=_point_config(workload, protocol, s3,
+                                     references=60, seed=11),
+                label=_point_label(workload, protocol, s3),
+                max_cycles=MAX_CYCLES) for workload, protocol, s3 in grid]
+
+        def run_tier(tier: str, multiplexed: bool = False):
             kernel.set_kernel_tier(tier)
-            outputs = []
-            for workload, protocol, s3 in grid:
-                spec = RunSpec(
-                    config=_point_config(workload, protocol, s3,
-                                         references=60, seed=11),
-                    label=_point_label(workload, protocol, s3),
-                    max_cycles=MAX_CYCLES)
-                result = execute_spec(spec)
-                outputs.append(json.dumps(result.to_json(), sort_keys=True))
-            return outputs
+            specs = grid_specs()
+            if multiplexed:
+                results = MultiplexExecutor().map(specs)
+            else:
+                results = [execute_spec(spec) for spec in specs]
+            return [json.dumps(r.to_json(), sort_keys=True) for r in results]
 
         pure = run_tier("pure")
-        compiled = run_tier("compiled")
-        for (workload, protocol, s3), a, b in zip(grid, pure, compiled):
-            assert a == b, (
-                f"tier divergence at {workload}/{protocol.value}"
-                f"@{'no-vc' if s3 else 'vc'}")
+        legs = [
+            ("compiled", run_tier("compiled")),
+            ("pure/multiplexed", run_tier("pure", multiplexed=True)),
+            ("compiled/multiplexed", run_tier("compiled", multiplexed=True)),
+        ]
+        for leg, outputs in legs:
+            for (workload, protocol, s3), a, b in zip(grid, pure, outputs):
+                assert a == b, (
+                    f"{leg} divergence at {workload}/{protocol.value}"
+                    f"@{'no-vc' if s3 else 'vc'}")

@@ -32,8 +32,10 @@ from typing import Any, Dict, List, Optional
 #: it computed; everything else must match byte for byte.  ``cache`` is the
 #: per-process hit/miss summary of ``--cache`` runs; ``kernel`` records the
 #: executing kernel tier (+ compiler tag), which legitimately differs when
-#: the same campaign is run on the pure and the compiled tier.
-EXECUTION_KEYS = ("cache", "kernel")
+#: the same campaign is run on the pure and the compiled tier; ``memos`` is
+#: the artifact-memo hit/miss tally, which legitimately differs between
+#: cold (serial/parallel) and warm (batched/multiplexed) execution.
+EXECUTION_KEYS = ("cache", "kernel", "memos")
 
 
 def cross_tier_note(reference: Dict[str, Any],
